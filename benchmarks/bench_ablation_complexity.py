@@ -1,0 +1,71 @@
+"""Ablation — service complexity (the paper's §V second future-work item).
+
+Compares simple echo services against composite (multi-operation,
+multi-type) services built from the same quick-scale Java catalog: do
+richer interfaces surface *more* interoperability errors?  Because a
+composite fails if any member type trips a tool, the per-service error
+probability rises roughly with group size — which is the effect the
+authors expected richer services to expose.
+"""
+
+from conftest import print_rows
+
+from repro.appservers import GlassFish
+from repro.frameworks.registry import all_client_frameworks
+from repro.services import compose_corpus, generate_corpus
+from repro.typesystem import QUICK_JAVA_QUOTAS, build_java_catalog
+from repro.wsdl import read_wsdl_text
+
+
+def _error_rate(records, clients):
+    """Fraction of (service, client) tests with >=1 error."""
+    errors = tests = 0
+    for record in records:
+        document = read_wsdl_text(record.wsdl_text)
+        for client in clients.values():
+            tests += 1
+            result = client.generate(document)
+            if not result.succeeded:
+                errors += 1
+                continue
+            if client.requires_compilation:
+                if not client.compiler.compile(result.bundle).succeeded:
+                    errors += 1
+    return errors, tests
+
+
+def test_complexity_ablation(benchmark):
+    catalog = build_java_catalog(QUICK_JAVA_QUOTAS)
+    clients = all_client_frameworks()
+
+    def run_ablation():
+        outcomes = {}
+        simple_server = GlassFish()
+        simple_server.deploy_corpus(generate_corpus(catalog))
+        outcomes["simple (1 type/service)"] = _error_rate(
+            simple_server.deployed, clients
+        )
+        for group_size in (2, 4):
+            server = GlassFish()
+            for service in compose_corpus(catalog, group_size=group_size):
+                server.deploy(service)
+            outcomes[f"composite ({group_size} types/service)"] = _error_rate(
+                server.deployed, clients
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = []
+    rates = {}
+    for label, (errors, tests) in outcomes.items():
+        rate = errors / tests if tests else 0.0
+        rates[label] = rate
+        rows.append((label, errors, tests, f"{rate:.4f}"))
+    print_rows(
+        "Ablation: error rate vs service complexity",
+        ("Corpus", "Error tests", "Tests", "Rate"),
+        rows,
+    )
+    # Richer interfaces concentrate more failure triggers per service.
+    assert rates["composite (4 types/service)"] >= rates["simple (1 type/service)"]

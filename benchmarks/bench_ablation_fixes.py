@@ -1,0 +1,64 @@
+"""Ablation — what if the documented tool bugs were fixed? (§V)
+
+The paper argues the errors "require urgent attention from the industry".
+This ablation quantifies that: re-run the campaign with one documented
+defect repaired at a time and measure how many of the 1,591 error
+situations disappear.  Axis1's ancient fault-wrapper template alone
+accounts for over half of them.
+"""
+
+from conftest import print_rows
+
+from repro.core import Campaign, CampaignConfig
+
+#: (label, {client_id: {flag: value}}) — one repaired defect per row.
+FIXES = (
+    ("baseline (all documented bugs present)", {}),
+    ("fix Axis1 fault-wrapper template",
+     {"axis1": {"throwable_wrapper_bug": False}}),
+    ("fix JScript missing helper + crash",
+     {"dotnet-js": {"nullable_array_helper_bug": False,
+                    "crash_on_deep_nullable_arrays": False}}),
+    ("teach JAXB tools the s:schema idiom",
+     {"metro": {"supports_schema_in_instance": True},
+      "cxf": {"supports_schema_in_instance": True},
+      "jbossws": {"supports_schema_in_instance": True}}),
+    ("make Metro-family accept lax wildcards",
+     {"metro": {"rejects_lax_wildcards": False},
+      "cxf": {"rejects_lax_wildcards": False},
+      "jbossws": {"rejects_lax_wildcards": False},
+      "axis1": {"rejects_lax_wildcards": False}}),
+)
+
+
+def test_fix_impact_ablation(benchmark):
+    def run_all():
+        outcomes = []
+        baseline_errors = None
+        for label, overrides in FIXES:
+            config = CampaignConfig(client_flag_overrides=dict(overrides))
+            result = Campaign(config).run()
+            errors = result.totals()["error_situations"]
+            if baseline_errors is None:
+                baseline_errors = errors
+            saved = baseline_errors - errors
+            outcomes.append((label, errors, saved,
+                             f"{saved / baseline_errors:.1%}" if baseline_errors else "-"))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_rows(
+        "Ablation: error situations after repairing one defect at a time",
+        ("Scenario", "Error situations", "Errors removed", "Share of baseline"),
+        outcomes,
+    )
+
+    baseline = outcomes[0][1]
+    by_label = {label: errors for label, errors, __, __ in outcomes}
+    assert baseline == 1591
+    # Axis1's wrapper bug alone accounts for the 889 throwable failures.
+    assert baseline - by_label["fix Axis1 fault-wrapper template"] == 889
+    # The JScript fix removes the 50 + 50 + 301 compile failures.
+    assert baseline - by_label["fix JScript missing helper + crash"] == 401
+    # Teaching JAXB the DataSet idiom removes the 76-per-tool errors.
+    assert baseline - by_label["teach JAXB tools the s:schema idiom"] >= 76 * 3

@@ -1,0 +1,55 @@
+"""Ablation — WS-I compliance as an error predictor (§IV.A).
+
+The paper's key secondary finding: 95.3% of services that fail the WS-I
+check also hit an error later, but the check misses problem documents
+too (the zero-operation WSDLs pass with only an advisory).  This bench
+quantifies both directions over the full campaign:
+
+* precision — of WS-I-warned services, how many errored later;
+* coverage  — of services with errors, how many the check flagged.
+"""
+
+from conftest import print_rows
+
+from repro.core.analysis import (
+    error_free_wsi_warned_services,
+    error_services_by_server,
+    wsi_predictive_power,
+)
+
+
+def test_wsi_predictive_ablation(benchmark, full_result):
+    warned, warned_with_errors, precision = benchmark(
+        wsi_predictive_power, full_result
+    )
+
+    errors = error_services_by_server(full_result)
+    total_error_services = sum(len(names) for names in errors.values())
+    flagged_error_services = warned_with_errors
+    coverage = flagged_error_services / total_error_services
+
+    survivors = error_free_wsi_warned_services(full_result)
+
+    rows = [
+        ("WS-I-warned services", 86, warned, "yes" if warned == 86 else "NO"),
+        ("warned services with later errors", 82, warned_with_errors,
+         "yes" if warned_with_errors == 82 else "NO"),
+        ("precision (paper: 95.3%)", "0.953", f"{precision:.3f}",
+         "yes" if abs(precision - 0.953) < 0.005 else "NO"),
+        ("warned but error-free (paper: 4)", 4, len(survivors),
+         "yes" if len(survivors) == 4 else "NO"),
+        ("services with >=1 erroring test", "-", total_error_services, "-"),
+        ("error-service coverage by WS-I check", "-", f"{coverage:.3f}", "-"),
+    ]
+    print_rows(
+        "Ablation: WS-I check as an error predictor",
+        ("Metric", "Paper", "Measured", "Match"),
+        rows,
+    )
+    assert warned == 86 and warned_with_errors == 82 and len(survivors) == 4
+    # The check is a strong but partial predictor: high precision, low
+    # coverage — most erroring services (throwables, script shapes, case
+    # collisions) pass WS-I.  That asymmetry is the paper's argument for
+    # not trusting compliance alone.
+    assert precision > 0.9
+    assert coverage < 0.25

@@ -1,0 +1,38 @@
+"""Fig. 4 — overview of the experimental results.
+
+Regenerates the six bars for each of the three server frameworks and
+compares them against the paper (reconstructed values; see
+repro.data.paper_results.RECONSTRUCTION_NOTES for the divergences in the
+figure as printed).
+"""
+
+from conftest import print_rows
+
+from repro.core import Campaign
+from repro.data import PAPER_FIG4
+from repro.reporting import render_fig4
+
+
+def test_fig4_full_campaign(benchmark, full_result, quick_config):
+    """Compare all 18 Fig. 4 values; time a quick-scale campaign run."""
+    benchmark.pedantic(
+        lambda: Campaign(quick_config).run(), rounds=1, iterations=1
+    )
+
+    rows = []
+    exact = 0
+    for server_id, expected in PAPER_FIG4.items():
+        measured = full_result.fig4_series(server_id)
+        for metric, paper_value in expected.items():
+            match = paper_value == measured[metric]
+            exact += match
+            rows.append((server_id, metric, paper_value, measured[metric],
+                         "yes" if match else "NO"))
+    print_rows(
+        "Fig. 4 — per-server overview (paper vs measured)",
+        ("Server", "Metric", "Paper", "Measured", "Match"),
+        rows,
+    )
+    print()
+    print(render_fig4(full_result))
+    assert exact == len(rows), "every Fig. 4 value must match the reconstruction"

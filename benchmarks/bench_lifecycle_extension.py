@@ -1,0 +1,54 @@
+"""Extension experiment — the full five-step lifecycle (paper §V).
+
+Runs the extended campaign (generation → compilation → communication →
+execution) over a sampled slice of the paper-scale corpus and reports
+where tests die.  Everything that survives compilation must complete the
+echo round trip, except the method-less dynamic clients on the
+zero-operation WSDLs — the communication-step failure the paper
+predicted it would find.
+"""
+
+from conftest import print_rows
+
+from repro.core import CampaignConfig
+from repro.core.extended import LifecycleCampaign
+
+
+def test_lifecycle_extension(benchmark):
+    campaign = LifecycleCampaign(CampaignConfig(), sample_per_server=120)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    rows = []
+    for server_id in result.server_ids:
+        for client_id in result.client_ids:
+            cell = result.cell(server_id, client_id)
+            if cell.error_tests:
+                rows.append((server_id, client_id) + cell.as_row())
+    print_rows(
+        "Five-step lifecycle: cells with failures "
+        "(GenErr/CompErr/CommErr/ExecErr/Done)",
+        ("Server", "Client", "GenErr", "CompErr", "CommErr", "ExecErr", "Done"),
+        rows,
+    )
+    totals = result.totals()
+    print()
+    print(f"totals: {totals}")
+    print(f"completion ratio: {result.completion_ratio():.3f}")
+
+    # The echo server is faithful: communication is the only possible
+    # post-compilation failure, and execution never mismatches.
+    assert totals["execution_errors"] == 0
+    # Most sampled combinations complete the whole lifecycle.
+    assert result.completion_ratio() > 0.85
+    # Communication failures happen only on the JBossWS zero-operation
+    # WSDLs, and only for tools that silently produced a method-less
+    # client: the dynamic platforms AND the silent generators — the
+    # "silent propagation of a severe issue to the client side" that
+    # §IV.A calls out, now observable one step later.
+    for (server_id, client_id), cell in result.cells.items():
+        if cell.communication_errors:
+            assert server_id == "jbossws", (server_id, client_id)
+            assert client_id in ("zend", "suds", "axis1", "cxf", "jbossws"), (
+                server_id,
+                client_id,
+            )

@@ -1,0 +1,71 @@
+"""Scaling sweep — campaign cost and counts vs corpus size (ours).
+
+Runs the campaign at several corpus scales and prints how runtime and
+the headline counters grow.  Counts must scale linearly in the deployed
+population (tests = deployed × 11) while the special-type findings stay
+constant — they are pinned singletons, not samples.
+"""
+
+import time
+
+from conftest import print_rows
+
+from repro.core import Campaign, CampaignConfig
+from repro.typesystem.quotas import DotNetCatalogQuotas, JavaCatalogQuotas
+
+
+def _scaled_config(scale):
+    java = JavaCatalogQuotas(
+        total=300 * scale,
+        metro_bindable=180 * scale,
+        jbossws_bindable=160 * scale + 2,
+        throwable_total=30 * scale,
+        throwable_metro=24 * scale,
+        throwable_jbossws=20 * scale,
+        script_unfriendly=4 * scale,
+    )
+    dotnet = DotNetCatalogQuotas(
+        total=600 * scale,
+        wcf_bindable=150 * scale,
+        dataset_schema_ref=12 * scale,
+        schema_keyref=3 * scale,
+        recursive_schema_ref=1,
+        xml_lang_attr=2 * scale,
+        script_unfriendly=10 * scale,
+        script_crasher=2 * scale,
+        vb_case_collisions=4,
+    )
+    return CampaignConfig(java_quotas=java, dotnet_quotas=dotnet)
+
+
+def test_scaling_sweep(benchmark):
+    def sweep():
+        rows = []
+        for scale in (1, 2, 4):
+            config = _scaled_config(scale)
+            started = time.perf_counter()
+            result = Campaign(config).run()
+            elapsed = time.perf_counter() - started
+            totals = result.totals()
+            rows.append(
+                (
+                    scale,
+                    totals["services_created"],
+                    totals["services_deployed"],
+                    totals["tests"],
+                    totals["error_situations"],
+                    f"{elapsed:.2f}s",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows(
+        "Campaign scaling sweep",
+        ("Scale", "Created", "Deployed", "Tests", "Errors", "Wall time"),
+        rows,
+    )
+    # Tests grow linearly with the deployed population.
+    for scale, __, deployed, tests, __, __ in rows:
+        assert tests == deployed * 11
+    assert rows[2][3] > rows[0][3] * 3

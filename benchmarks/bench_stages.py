@@ -1,0 +1,88 @@
+"""Pipeline-stage micro-benchmarks (ours, not a paper table).
+
+Times each step of the inter-operation lifecycle in isolation: WSDL
+emission, serialization, parsing, WS-I checking, per-tool artifact
+generation, compilation and a full echo round trip.
+"""
+
+import pytest
+
+from repro.appservers import GlassFish
+from repro.frameworks.registry import all_client_frameworks
+from repro.runtime import run_full_lifecycle
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, SimpleType, TypeInfo
+from repro.wsdl import read_wsdl_text, serialize_wsdl
+from repro.wsi import check_document
+from repro.xmlcore import parse
+
+
+def _entry():
+    return TypeInfo(
+        Language.JAVA, "pkg", "Plain",
+        properties=(
+            Property("size", SimpleType.INT),
+            Property("label", SimpleType.STRING),
+            Property("tags", SimpleType.STRING, is_array=True),
+            Property("created", SimpleType.DATETIME),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def record():
+    deployed = GlassFish().deploy(ServiceDefinition(_entry()))
+    assert deployed.accepted
+    return deployed
+
+
+@pytest.fixture(scope="module")
+def document(record):
+    return read_wsdl_text(record.wsdl_text)
+
+
+def test_stage_wsdl_emission(benchmark):
+    server = GlassFish()
+    service = ServiceDefinition(_entry())
+    result = benchmark(server.framework.generate_wsdl, service, "http://x/svc")
+    assert result.operations
+
+
+def test_stage_wsdl_serialization(benchmark, record):
+    text = benchmark(serialize_wsdl, record.wsdl)
+    assert text.startswith("<?xml")
+
+
+def test_stage_xml_parse(benchmark, record):
+    root = benchmark(parse, record.wsdl_text)
+    assert root.name.local == "definitions"
+
+
+def test_stage_wsdl_read(benchmark, record):
+    parsed = benchmark(read_wsdl_text, record.wsdl_text)
+    assert parsed.operations
+
+
+def test_stage_wsi_check(benchmark, document):
+    report = benchmark(check_document, document)
+    assert report.clean
+
+
+@pytest.mark.parametrize("client_id", sorted(all_client_frameworks()))
+def test_stage_artifact_generation(benchmark, document, client_id):
+    client = all_client_frameworks()[client_id]
+    result = benchmark(client.generate, document)
+    assert result.succeeded
+
+
+def test_stage_compilation(benchmark, document):
+    client = all_client_frameworks()["metro"]
+    bundle = client.generate(document).bundle
+    compiled = benchmark(client.compiler.compile, bundle)
+    assert compiled.succeeded
+
+
+def test_stage_full_lifecycle_roundtrip(benchmark, record):
+    client = all_client_frameworks()["suds"]
+    outcome = benchmark(run_full_lifecycle, record, client, "suds")
+    assert outcome.reached_execution

@@ -1,0 +1,50 @@
+"""Table I — server platforms: inventory check + deployment throughput."""
+
+from conftest import print_rows
+
+from repro.appservers import container_for
+from repro.data import PAPER_TABLE1
+from repro.frameworks.registry import SERVER_IDS, all_server_frameworks
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, SimpleType, TypeInfo
+
+
+def test_table1_inventory(benchmark):
+    """The three server subsystems exist with the paper's identities."""
+    servers = benchmark(all_server_frameworks)
+    rows = []
+    for (paper_server, paper_framework, paper_language), server_id in zip(
+        PAPER_TABLE1, SERVER_IDS
+    ):
+        framework = servers[server_id]
+        measured = f"{framework.name} {framework.version}"
+        rows.append((paper_server, paper_framework, measured, framework.language))
+        assert framework.language == paper_language
+    print_rows(
+        "Table I — server platforms (paper vs model)",
+        ("Paper server", "Paper framework", "Model", "Language"),
+        rows,
+    )
+    assert len(servers) == 3
+
+
+def test_deployment_throughput(benchmark):
+    """Time deploying one service on each platform (WSDL emission +
+    serialization, the Service Description Generation step)."""
+    java_entry = TypeInfo(
+        Language.JAVA, "pkg", "Plain", properties=(Property("size", SimpleType.INT),)
+    )
+    cs_entry = TypeInfo(
+        Language.CSHARP, "System", "Plain", properties=(Property("Size", SimpleType.INT),)
+    )
+
+    def deploy_all():
+        records = []
+        for server_id in SERVER_IDS:
+            container = container_for(server_id)
+            entry = cs_entry if server_id == "wcf" else java_entry
+            records.append(container.deploy(ServiceDefinition(entry)))
+        return records
+
+    records = benchmark(deploy_all)
+    assert all(record.accepted for record in records)

@@ -1,0 +1,53 @@
+"""Table II — client frameworks: inventory check + generation throughput."""
+
+from conftest import print_rows
+
+from repro.appservers import GlassFish
+from repro.data import PAPER_TABLE2
+from repro.frameworks.registry import CLIENT_IDS, all_client_frameworks
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, SimpleType, TypeInfo
+from repro.wsdl import read_wsdl_text
+
+
+def test_table2_inventory(benchmark):
+    """Eleven client subsystems with the paper's tools and languages."""
+    clients = benchmark(all_client_frameworks)
+    rows = []
+    for (paper_fw, paper_tool, paper_language, paper_compiles), client_id in zip(
+        PAPER_TABLE2, CLIENT_IDS
+    ):
+        client = clients[client_id]
+        rows.append(
+            (
+                paper_fw,
+                paper_tool,
+                client.language,
+                "Yes" if client.requires_compilation else "N/A",
+            )
+        )
+        assert client.language == paper_language
+        assert client.requires_compilation == paper_compiles
+    print_rows(
+        "Table II — client-side frameworks (paper vs model)",
+        ("Paper framework", "Paper tool", "Language", "Compilation"),
+        rows,
+    )
+    assert len(clients) == 11
+
+
+def test_generation_throughput_all_clients(benchmark):
+    """Time one Client Artifact Generation step for all eleven tools."""
+    entry = TypeInfo(
+        Language.JAVA, "pkg", "Plain",
+        properties=(Property("size", SimpleType.INT), Property("label")),
+    )
+    record = GlassFish().deploy(ServiceDefinition(entry))
+    document = read_wsdl_text(record.wsdl_text)
+    clients = all_client_frameworks()
+
+    def generate_all():
+        return [client.generate(document) for client in clients.values()]
+
+    results = benchmark(generate_all)
+    assert all(result.succeeded for result in results)

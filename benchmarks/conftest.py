@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+The paper-scale campaign result is computed once per session and shared:
+benchmark functions time *representative slices* (or one full pedantic
+round) and then print the paper-vs-measured rows for the table/figure
+they regenerate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+
+
+@pytest.fixture(scope="session")
+def full_result():
+    """The paper-scale campaign (22,024 services / 79,629 tests)."""
+    return Campaign(CampaignConfig()).run()
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    return CampaignConfig(
+        java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+    )
+
+
+def print_rows(title, headers, rows):
+    """Uniform paper-vs-measured table printer for bench output."""
+    from repro.reporting import render_table
+
+    print()
+    print(render_table(headers, rows, title=title))

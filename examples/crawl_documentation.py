@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The Preparation Phase harvesting step (§III.A.c), end to end.
+
+The paper gathered its 3,971 Java and 14,082 .NET test types by crawling
+the official API documentation with wget scripts.  This example renders
+both documentation sites from the calibrated catalogs, crawls them with
+the wget-like crawler, and generates the echo-service corpus from the
+harvested names — the exact workflow of the study's scripts.
+
+Run:  python examples/crawl_documentation.py
+"""
+
+from repro.docweb import DocCrawler, build_site
+from repro.services import generate_corpus, render_service_source
+from repro.typesystem import build_dotnet_catalog, build_java_catalog
+
+
+def harvest(catalog, label):
+    site = build_site(catalog)
+    print(f"{label}: documentation site with {len(site)} pages")
+    stats = DocCrawler(site).crawl()
+    print(f"  crawled {stats.pages_fetched} pages, "
+          f"harvested {len(stats.type_names)} type names")
+    missing = {e.full_name for e in catalog} - set(stats.type_names)
+    print(f"  names missed by the crawler: {len(missing)}")
+    return stats.type_names
+
+
+def main():
+    java_catalog = build_java_catalog()
+    dotnet_catalog = build_dotnet_catalog()
+
+    java_names = harvest(java_catalog, "Java SE 7 docs")
+    dotnet_names = harvest(dotnet_catalog, ".NET Framework docs")
+
+    corpus = generate_corpus(java_catalog)
+    print()
+    print(f"Service corpus: {len(corpus)} Java services x 2 servers, "
+          f"{len(dotnet_names)} C# services")
+    print()
+    print("Example generated service (the paper's echo shape):")
+    print()
+    sample = next(
+        service for service in corpus
+        if service.parameter_type.full_name == "java.text.SimpleDateFormat"
+    )
+    print(render_service_source(sample))
+    print(f"Total services, as in the paper: {len(java_names) * 2 + len(dotnet_names)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Tour of the client artifacts each framework generates.
+
+Deploys one service, runs every artifact generator over its WSDL, and
+materializes the generated source trees to ``./artifacts-tour/`` — one
+directory per tool, with per-language file extensions and a manifest —
+then prints a few of the sources, including Axis1's buggy fault wrapper
+for a Throwable-shaped service.
+
+Run:  python examples/generated_artifacts_tour.py
+"""
+
+import os
+import shutil
+
+from repro.artifacts import render_unit, write_bundle
+from repro.appservers import GlassFish
+from repro.frameworks.registry import all_client_frameworks
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, SimpleType, Trait, TypeInfo
+from repro.typesystem.synthesis import throwable_properties
+from repro.wsdl import read_wsdl_text
+
+OUTPUT_ROOT = "artifacts-tour"
+
+
+def main():
+    if os.path.exists(OUTPUT_ROOT):
+        shutil.rmtree(OUTPUT_ROOT)
+
+    entry = TypeInfo(
+        Language.JAVA, "org.example", "Order",
+        properties=(
+            Property("identifier", SimpleType.STRING),
+            Property("quantity", SimpleType.INT),
+            Property("lines", SimpleType.STRING, is_array=True),
+        ),
+    )
+    record = GlassFish().deploy(ServiceDefinition(entry))
+    document = read_wsdl_text(record.wsdl_text)
+
+    print(f"Service: {record.endpoint_url}")
+    print(f"Writing generated artifacts to ./{OUTPUT_ROOT}/")
+    print()
+    for client_id, client in all_client_frameworks().items():
+        result = client.generate(document)
+        if not result.succeeded:
+            print(f"  {client_id}: generation failed — {result.errors[0].message}")
+            continue
+        paths = write_bundle(result.bundle, OUTPUT_ROOT)
+        print(f"  {client_id:>10} ({client.language:<12}): "
+              f"{len(result.bundle.units)} units -> "
+              f"{os.path.dirname(os.path.relpath(paths[0]))}")
+
+    # Show one bean in three very different languages.
+    clients = all_client_frameworks()
+    print()
+    for client_id in ("metro", "dotnet-vb", "gsoap"):
+        bundle = clients[client_id].generate(document).bundle
+        bean = bundle.unit("Order")
+        print(f"--- {client_id} renders the Order bean "
+              f"({clients[client_id].language}) ---")
+        print(render_unit(bean))
+
+    # And the famous Axis1 fault-wrapper bug on a Throwable shape.
+    throwable = TypeInfo(
+        Language.JAVA, "org.example", "TransferFailedException",
+        properties=throwable_properties(),
+        traits=frozenset({Trait.THROWABLE}),
+    )
+    record = GlassFish().deploy(ServiceDefinition(throwable))
+    document = read_wsdl_text(record.wsdl_text)
+    axis1 = clients["axis1"]
+    bundle = axis1.generate(document).bundle
+    wrapper = bundle.unit("TransferFailedExceptionFaultWrapper")
+    print("--- Axis1's generated fault wrapper (note getFaultDetail "
+          "referencing a field that does not exist) ---")
+    print(render_unit(wrapper))
+    compiled = axis1.compiler.compile(bundle)
+    print("javac says:")
+    for diagnostic in compiled.diagnostics:
+        print(f"  {diagnostic}")
+
+
+if __name__ == "__main__":
+    main()

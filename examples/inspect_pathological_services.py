@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Walk through the paper's §IV.B technical examples, one by one.
+
+For each of the footnoted problem services this script deploys the
+service on its real server model, prints the interesting slice of the
+published WSDL, runs the WS-I check, and shows how each client tool
+reacts — reproducing the narrative of 'Technical Examples of Disclosed
+Issues'.
+
+Run:  python examples/inspect_pathological_services.py
+"""
+
+from repro.appservers import GlassFish, IisExpress, JBossAs
+from repro.frameworks.registry import all_client_frameworks
+from repro.services import ServiceDefinition
+from repro.typesystem import build_dotnet_catalog, build_java_catalog
+from repro.wsdl import read_wsdl_text
+from repro.wsi import check_document
+
+CASES = [
+    # (title, container factory, catalog, type name)
+    ("JBossWS publishes a WSDL with no operations (Future)",
+     JBossAs, "java", "java.util.concurrent.Future"),
+    ("GlassFish refuses the same service (correct behaviour, §IV.B.1)",
+     GlassFish, "java", "java.util.concurrent.Future"),
+    ("Metro's W3CEndpointReference: import without schemaLocation",
+     GlassFish, "java", "javax.xml.ws.wsaddressing.W3CEndpointReference"),
+    ("JBossWS's W3CEndpointReference: dangling element reference",
+     JBossAs, "java", "javax.xml.ws.wsaddressing.W3CEndpointReference"),
+    ("SimpleDateFormat: duplicate schema attribute (Metro variant)",
+     GlassFish, "java", "java.text.SimpleDateFormat"),
+    ("XMLGregorianCalendar: Axis2's naming-convention bug",
+     GlassFish, "java", "javax.xml.datatype.XMLGregorianCalendar"),
+    ("Exception: Axis1's fault-wrapper attribute bug",
+     GlassFish, "java", "java.lang.Exception"),
+    (".NET DataSet: ref=\"s:schema\" + xs:any (breaks the JAXB tools)",
+     IisExpress, "dotnet", "System.Data.DataSet"),
+    ("SocketError: enum constants that collide after normalization",
+     IisExpress, "dotnet", "System.Net.Sockets.SocketError"),
+    ("WebControls Button: case collision fatal for VB.NET",
+     IisExpress, "dotnet", "System.Web.UI.WebControls.Button"),
+]
+
+
+def show_case(title, container_factory, catalog, type_name, clients):
+    print("=" * 78)
+    print(title)
+    print("-" * 78)
+    entry = catalog.require(type_name)
+    record = container_factory().deploy(ServiceDefinition(entry))
+    if not record.accepted:
+        print(f"  deployment REFUSED: {record.reason}")
+        print()
+        return
+
+    document = read_wsdl_text(record.wsdl_text)
+    report = check_document(document)
+    print(f"  WSDL published at {record.wsdl_url}")
+    print(f"  WS-I BP 1.1: {'PASS' if report.conformant else 'FAIL'}"
+          f" ({len(report.failures)} failures, {len(report.advisories)} advisories)")
+    for violation in report.violations:
+        print(f"    {violation.severity.value}: {violation}")
+
+    # Show the schema slice of the WSDL (first 12 lines of <types>).
+    lines = record.wsdl_text.splitlines()
+    in_types = False
+    shown = 0
+    for line in lines:
+        if "<wsdl:types>" in line:
+            in_types = True
+        if in_types and shown < 12:
+            print(f"    | {line.strip()}")
+            shown += 1
+        if "</wsdl:types>" in line:
+            break
+
+    print("  Client tool outcomes:")
+    for client_id, client in clients.items():
+        result = client.generate(document)
+        if not result.succeeded:
+            print(f"    {client_id:>10}: GENERATION ERROR — {result.errors[0].message}")
+            continue
+        suffix = ""
+        if result.warnings:
+            suffix = f" (warning: {result.warnings[0].message[:60]}…)"
+        if client.requires_compilation:
+            compiled = client.compiler.compile(result.bundle)
+            if not compiled.succeeded:
+                print(f"    {client_id:>10}: COMPILE ERROR — {compiled.errors[0].message}")
+                continue
+            if compiled.warnings:
+                suffix += " [javac note: unchecked operations]"
+        print(f"    {client_id:>10}: ok{suffix}")
+    print()
+
+
+def main():
+    catalogs = {"java": build_java_catalog(), "dotnet": build_dotnet_catalog()}
+    clients = all_client_frameworks()
+    for title, container_factory, catalog_key, type_name in CASES:
+        show_case(title, container_factory, catalogs[catalog_key], type_name, clients)
+
+
+if __name__ == "__main__":
+    main()

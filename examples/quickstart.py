@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run a scaled-down interoperability campaign.
+
+The quick corpora keep every special type the paper's footnotes name
+(Future, W3CEndpointReference, SimpleDateFormat, DataSet, SocketError,
+the WebControls colliders, …) but shrink the plain populations, so the
+whole study runs in a couple of seconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Campaign, CampaignConfig
+from repro.core.analysis import headline_numbers
+from repro.reporting import render_fig4, render_table3
+from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+
+
+def main():
+    config = CampaignConfig(
+        java_quotas=QUICK_JAVA_QUOTAS,
+        dotnet_quotas=QUICK_DOTNET_QUOTAS,
+    )
+    print("Running the quick campaign "
+          f"({QUICK_JAVA_QUOTAS.total * 2 + QUICK_DOTNET_QUOTAS.total} services)...")
+    result = Campaign(config).run(progress=lambda msg: print(f"  {msg}"))
+
+    print()
+    print(render_fig4(result))
+    print()
+    print(render_table3(result))
+    print()
+    print("Headline numbers:")
+    for key, value in headline_numbers(result).items():
+        if isinstance(value, float):
+            value = round(value, 3)
+        print(f"  {key}: {value}")
+
+    print()
+    print("For the paper-scale run (79,629 tests, ~30s):")
+    print("  from repro import run_default_campaign")
+    print("  result = run_default_campaign()")
+    print("or:  wsinterop report")
+
+
+if __name__ == "__main__":
+    main()

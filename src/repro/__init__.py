@@ -1,0 +1,43 @@
+"""wsinterop — reproduction of *Understanding Interoperability Issues of
+Web Service Frameworks* (Elia, Laranjeiro, Vieira — DSN 2014).
+
+The package rebuilds the paper's entire measurement ecosystem in Python:
+the WSDL/XSD/SOAP substrates, the three server-side and eleven
+client-side framework models with their documented quirks, the WS-I
+Basic Profile analyzer, and the two-phase assessment campaign that
+reproduces Fig. 4 and Table III.
+
+Quick start::
+
+    from repro import Campaign, CampaignConfig
+    from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+
+    config = CampaignConfig(
+        java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+    )
+    result = Campaign(config).run()
+    print(result.totals())
+
+Run the paper-scale campaign (79,629 tests, ~30 s) with
+:func:`repro.core.run_default_campaign` or the ``wsinterop`` CLI.
+"""
+
+from repro.core import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    run_default_campaign,
+)
+from repro.frameworks import all_client_frameworks, all_server_frameworks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "all_client_frameworks",
+    "all_server_frameworks",
+    "run_default_campaign",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Application-server containers (Table I's server column).
+
+Each container hosts one server framework subsystem, assigns endpoint
+URLs, and records the deployment outcome of every service — including
+refusals, which the paper treats as corpus filtering rather than errors
+(§III.B.a: 14,785 of 22,024 services yield no WSDL).
+"""
+
+from repro.appservers.container import ApplicationServer, DeploymentRecord
+from repro.appservers.servers import GlassFish, IisExpress, JBossAs, container_for
+
+__all__ = [
+    "ApplicationServer",
+    "DeploymentRecord",
+    "GlassFish",
+    "IisExpress",
+    "JBossAs",
+    "container_for",
+]

@@ -1,0 +1,80 @@
+"""Generic application-server container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wsdl.builder import serialize_wsdl
+
+
+@dataclass
+class DeploymentRecord:
+    """One service's deployment outcome inside a container."""
+
+    service: object
+    accepted: bool
+    reason: str = ""
+    wsdl: object = None  # the in-memory WsdlDocument
+    wsdl_text: str = ""  # the serialized document clients download
+    endpoint_url: str = ""
+
+    @property
+    def wsdl_url(self):
+        return f"{self.endpoint_url}?wsdl" if self.accepted else ""
+
+
+class ApplicationServer:
+    """Hosts one server framework; deploys services and publishes WSDLs.
+
+    Publication serializes the in-memory document to real XML text —
+    clients re-parse it, so the full text round-trip that real tools
+    perform is part of every campaign test.
+    """
+
+    name = ""
+    version = ""
+    host = "localhost"
+    port = 8080
+
+    def __init__(self, framework):
+        self.framework = framework
+        self.deployments = []
+
+    def base_url(self):
+        return f"http://{self.host}:{self.port}"
+
+    def deploy(self, service):
+        """Deploy ``service``; returns the :class:`DeploymentRecord`."""
+        endpoint_url = f"{self.base_url()}/{service.name}"
+        outcome = self.framework.deploy(service, endpoint_url)
+        if not outcome.accepted:
+            record = DeploymentRecord(
+                service=service, accepted=False, reason=outcome.reason
+            )
+        else:
+            record = DeploymentRecord(
+                service=service,
+                accepted=True,
+                wsdl=outcome.wsdl,
+                wsdl_text=serialize_wsdl(outcome.wsdl, pretty=True),
+                endpoint_url=endpoint_url,
+            )
+        self.deployments.append(record)
+        return record
+
+    def deploy_corpus(self, corpus):
+        """Deploy every service; returns the list of records."""
+        return [self.deploy(service) for service in corpus]
+
+    @property
+    def deployed(self):
+        """Records of successfully deployed services."""
+        return [record for record in self.deployments if record.accepted]
+
+    @property
+    def refused(self):
+        """Records of services the framework could not describe."""
+        return [record for record in self.deployments if not record.accepted]
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name} {self.version} ({self.framework.name})>"

@@ -1,0 +1,54 @@
+"""The three application servers of Table I."""
+
+from __future__ import annotations
+
+from repro.appservers.container import ApplicationServer
+from repro.frameworks.server import JBossWsCxfServer, MetroServer, WcfNetServer
+
+
+class GlassFish(ApplicationServer):
+    """GlassFish 4.0 hosting Metro 2.3."""
+
+    name = "GlassFish"
+    version = "4.0"
+    port = 8080
+
+    def __init__(self, framework=None):
+        super().__init__(framework or MetroServer())
+
+
+class JBossAs(ApplicationServer):
+    """JBoss AS 7.2 hosting JBossWS CXF 4.2.3."""
+
+    name = "JBoss AS"
+    version = "7.2"
+    port = 8180
+
+    def __init__(self, framework=None):
+        super().__init__(framework or JBossWsCxfServer())
+
+
+class IisExpress(ApplicationServer):
+    """Microsoft IIS 8.0 Express hosting WCF .NET 4.0."""
+
+    name = "Microsoft IIS Express"
+    version = "8.0.8418.0"
+    port = 8280
+
+    def __init__(self, framework=None):
+        super().__init__(framework or WcfNetServer())
+
+
+_CONTAINER_BY_SERVER_ID = {
+    "metro": GlassFish,
+    "jbossws": JBossAs,
+    "wcf": IisExpress,
+}
+
+
+def container_for(server_id):
+    """Instantiate the application server hosting framework ``server_id``."""
+    try:
+        return _CONTAINER_BY_SERVER_ID[server_id]()
+    except KeyError:
+        raise KeyError(f"no container for server framework {server_id!r}") from None

@@ -1,0 +1,31 @@
+"""Language-neutral model of generated client artifacts.
+
+Client artifact generators produce :class:`CodeUnit` trees (bean classes,
+service stubs, proxy headers).  The compiler simulators run *semantic*
+checks over this model — duplicate members, unresolved references,
+case-insensitive collisions, raw-type warnings — which is exactly the
+class of defect the paper observed in real generated code.  Renderers
+turn the model into plausible source text for humans and examples.
+"""
+
+from repro.artifacts.model import (
+    ArtifactBundle,
+    CodeUnit,
+    FieldDecl,
+    MethodDecl,
+    ParamDecl,
+    UnitKind,
+)
+from repro.artifacts.render import render_unit
+from repro.artifacts.workspace import write_bundle
+
+__all__ = [
+    "write_bundle",
+    "ArtifactBundle",
+    "CodeUnit",
+    "FieldDecl",
+    "MethodDecl",
+    "ParamDecl",
+    "UnitKind",
+    "render_unit",
+]

@@ -1,0 +1,102 @@
+"""Data model for generated client code."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class UnitKind(enum.Enum):
+    """What role a code unit plays in the generated client."""
+
+    BEAN = "bean"  # data class mirroring a schema type
+    STUB = "stub"  # the service interface / port class
+    PROXY = "proxy"  # runtime proxy (dynamic languages)
+    WRAPPER = "wrapper"  # fault/exception wrapper
+    HEADER = "header"  # gSOAP C++ header
+    ENUM = "enum"  # enumeration mirror
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """A field of a generated class.
+
+    ``raw_type`` marks unparameterized collection types (what makes javac
+    print the "unchecked or unsafe operations" note on Axis artifacts).
+    """
+
+    name: str
+    type_text: str
+    raw_type: bool = False
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """A method parameter."""
+
+    name: str
+    type_text: str
+
+
+@dataclass(frozen=True)
+class MethodDecl:
+    """A method of a generated class.
+
+    ``references`` lists the identifiers the method body uses; the
+    compiler simulators resolve them against fields, sibling units and
+    the language's built-in symbols.
+    """
+
+    name: str
+    params: tuple = ()
+    returns: str = "void"
+    references: tuple = ()
+
+
+@dataclass
+class CodeUnit:
+    """One generated type (class/interface/header)."""
+
+    name: str
+    kind: UnitKind
+    language: str
+    fields: list = field(default_factory=list)
+    methods: list = field(default_factory=list)
+    enum_constants: list = field(default_factory=list)
+    #: Free-form flags compilers react to (e.g. ``"crash-compiler"``).
+    flags: set = field(default_factory=set)
+
+    def field_names(self):
+        return [f.name for f in self.fields]
+
+    def method_names(self):
+        return [m.name for m in self.methods]
+
+
+@dataclass
+class ArtifactBundle:
+    """Everything one generation run produced for one WSDL."""
+
+    tool: str
+    service: str
+    units: list = field(default_factory=list)
+    #: True when the tool emitted only partial output (e.g. it failed
+    #: mid-run but had already written files — the Axis behaviour the
+    #: study observed, where the compile wrapper script still runs).
+    partial: bool = False
+
+    @property
+    def operation_methods(self):
+        """All methods across stub/proxy units (the invokable surface)."""
+        methods = []
+        for unit in self.units:
+            if unit.kind in (UnitKind.STUB, UnitKind.PROXY):
+                methods.extend(unit.methods)
+        return methods
+
+    def unit(self, name):
+        """Unit named ``name``, or ``None``."""
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        return None

@@ -1,0 +1,95 @@
+"""Render code units into plausible source text.
+
+Rendering is presentation only — the campaign pipeline never parses this
+text back.  It exists so examples and the CLI can show developers what
+each tool "generated", the way the paper's artifact directories did.
+"""
+
+from __future__ import annotations
+
+from repro.artifacts.model import CodeUnit, UnitKind
+
+_FIELD_TEMPLATES = {
+    "java": "    private {type} {name};",
+    "csharp": "    public {type} {name};",
+    "vb": "    Public {name} As {type}",
+    "jscript": "    var {name} : {type};",
+    "cpp": "    {type} {name};",
+    "php": "    public ${name};",
+    "python": "    {name} = None",
+}
+
+_METHOD_TEMPLATES = {
+    "java": "    public {returns} {name}({params}) {{ /* generated */ }}",
+    "csharp": "    public {returns} {name}({params}) {{ /* generated */ }}",
+    "vb": "    Public Function {name}({params}) As {returns}\n    End Function",
+    "jscript": "    function {name}({params}) : {returns} {{ }}",
+    "cpp": "    {returns} {name}({params});",
+    "php": "    public function {name}({params}) {{ }}",
+    "python": "    def {name}(self{params}):\n        ...",
+}
+
+_OPENERS = {
+    "java": "public class {name} {{",
+    "csharp": "public class {name} {{",
+    "vb": "Public Class {name}",
+    "jscript": "class {name} {{",
+    "cpp": "struct {name} {{",
+    "php": "class {name} {{",
+    "python": "class {name}:",
+}
+
+_CLOSERS = {
+    "java": "}}",
+    "csharp": "}}",
+    "vb": "End Class",
+    "jscript": "}}",
+    "cpp": "}};",
+    "php": "}}",
+    "python": "",
+}
+
+
+def _params_text(language, params):
+    if language == "python":
+        rendered = "".join(f", {p.name}" for p in params)
+        return rendered
+    if language == "php":
+        return ", ".join(f"${p.name}" for p in params)
+    if language in ("vb",):
+        return ", ".join(f"{p.name} As {p.type_text}" for p in params)
+    if language == "jscript":
+        return ", ".join(f"{p.name} : {p.type_text}" for p in params)
+    return ", ".join(f"{p.type_text} {p.name}" for p in params)
+
+
+def render_unit(unit):
+    """Render one :class:`CodeUnit` as source text."""
+    if not isinstance(unit, CodeUnit):
+        raise TypeError(f"expected CodeUnit, got {type(unit).__name__}")
+    language = unit.language
+    opener = _OPENERS.get(language, _OPENERS["java"])
+    closer = _CLOSERS.get(language, _CLOSERS["java"])
+    field_tpl = _FIELD_TEMPLATES.get(language, _FIELD_TEMPLATES["java"])
+    method_tpl = _METHOD_TEMPLATES.get(language, _METHOD_TEMPLATES["java"])
+
+    comment_prefix = {"python": "#", "vb": "'"}.get(language, "//")
+    lines = [f"{comment_prefix} generated {unit.kind.value}"]
+    lines.append(opener.format(name=unit.name))
+    for constant in unit.enum_constants:
+        lines.append(f"    {constant},")
+    for field_decl in unit.fields:
+        lines.append(field_tpl.format(type=field_decl.type_text, name=field_decl.name))
+    for method in unit.methods:
+        lines.append(
+            method_tpl.format(
+                returns=method.returns,
+                name=method.name,
+                params=_params_text(language, method.params),
+            )
+        )
+    if unit.kind is UnitKind.BEAN and language == "python" and not unit.fields:
+        lines.append("    pass")
+    if closer:
+        lines.append(closer.format())
+    return "\n".join(lines) + "\n"

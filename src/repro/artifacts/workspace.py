@@ -1,0 +1,57 @@
+"""Materialize artifact bundles to a directory tree.
+
+Real artifact generators write source trees to disk; this writer does
+the same for our bundles, with per-language file extensions and layout,
+so developers can open and inspect "what the tool generated" — the way
+the study's artifact directories allowed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.artifacts.model import ArtifactBundle
+from repro.artifacts.render import render_unit
+
+_EXTENSIONS = {
+    "java": ".java",
+    "csharp": ".cs",
+    "vb": ".vb",
+    "jscript": ".js",
+    "cpp": ".h",
+    "php": ".php",
+    "python": ".py",
+}
+
+
+def write_bundle(bundle, root):
+    """Write ``bundle`` under ``root``; returns the written paths.
+
+    Layout: ``<root>/<tool>/<service>/<UnitName>.<ext>`` plus a
+    ``MANIFEST.txt`` listing the units (and whether the output is
+    partial, the way Axis leaves incomplete trees behind).
+    """
+    if not isinstance(bundle, ArtifactBundle):
+        raise TypeError(f"expected ArtifactBundle, got {type(bundle).__name__}")
+    safe_tool = bundle.tool.replace("/", "_").replace(" ", "_")
+    directory = os.path.join(root, safe_tool, bundle.service or "service")
+    os.makedirs(directory, exist_ok=True)
+
+    written = []
+    for unit in bundle.units:
+        extension = _EXTENSIONS.get(unit.language, ".txt")
+        path = os.path.join(directory, f"{unit.name}{extension}")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_unit(unit))
+        written.append(path)
+
+    manifest_path = os.path.join(directory, "MANIFEST.txt")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(f"tool: {bundle.tool}\n")
+        handle.write(f"service: {bundle.service}\n")
+        handle.write(f"partial: {'yes' if bundle.partial else 'no'}\n")
+        handle.write(f"units: {len(bundle.units)}\n")
+        for unit in bundle.units:
+            handle.write(f"  {unit.kind.value}: {unit.name}\n")
+    written.append(manifest_path)
+    return written

@@ -1,0 +1,437 @@
+"""``wsinterop`` — the study's assessment tool as a command line.
+
+Mirrors the free tool the paper published alongside the study [22]:
+run the campaign, inspect WSDLs and WS-I reports for individual
+services, print the paper's tables, and export results.
+
+Examples::
+
+    wsinterop tables
+    wsinterop corpus
+    wsinterop run --quick
+    wsinterop report --json results.json
+    wsinterop wsdl jbossws java.util.concurrent.Future
+    wsinterop check metro java.text.SimpleDateFormat
+    wsinterop lifecycle metro java.util.Date --client suds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.appservers import container_for
+from repro.core import Campaign, CampaignConfig
+from repro.core.analysis import headline_numbers
+from repro.frameworks.registry import CLIENT_IDS, SERVER_IDS, client_framework
+from repro.reporting import (
+    comparison_rows,
+    render_fig4,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    result_to_json,
+    table3_to_csv,
+)
+from repro.services import ServiceDefinition
+from repro.typesystem import (
+    QUICK_DOTNET_QUOTAS,
+    QUICK_JAVA_QUOTAS,
+    build_dotnet_catalog,
+    build_java_catalog,
+)
+from repro.wsdl import read_wsdl_text
+from repro.wsi import check_document
+
+
+def _config_from(args):
+    if getattr(args, "quick", False):
+        return CampaignConfig(
+            java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+        )
+    return CampaignConfig()
+
+
+def _progress(message):
+    print(f"  {message}", file=sys.stderr)
+
+
+def _run_campaign(args):
+    config = _config_from(args)
+    started = time.time()
+    result = Campaign(config).run(progress=_progress if args.verbose else None)
+    elapsed = time.time() - started
+    print(f"campaign finished in {elapsed:.1f}s", file=sys.stderr)
+    return result
+
+
+def cmd_tables(args):
+    print(render_table1())
+    print()
+    print(render_table2())
+    return 0
+
+
+def cmd_corpus(args):
+    java = build_java_catalog()
+    dotnet = build_dotnet_catalog()
+    if getattr(args, "detail", False):
+        from repro.typesystem.inventory import render_inventory
+
+        print(render_inventory(java))
+        print()
+        print(render_inventory(dotnet))
+    else:
+        print(java.summary())
+        print(dotnet.summary())
+    print(f"total services to generate: {len(java) * 2 + len(dotnet)}")
+    return 0
+
+
+def cmd_run(args):
+    result = _run_campaign(args)
+    totals = result.totals()
+    for key, value in totals.items():
+        print(f"{key}: {value}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(table3_to_csv(result))
+        print(f"per-combination CSV written to {args.csv}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result_to_json(result))
+        print(f"JSON written to {args.json}", file=sys.stderr)
+    if args.save:
+        from repro.core.store import save_result
+
+        save_result(result, args.save)
+        print(f"full result saved to {args.save}", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args):
+    result = _run_campaign(args)
+    print(render_fig4(result))
+    print()
+    print(render_table3(result))
+    print()
+    headlines = headline_numbers(result)
+    print(
+        render_table(
+            ("Metric", "Value"),
+            [(key, value) for key, value in headlines.items()],
+            title="Headline numbers",
+        )
+    )
+    print()
+    rows = [
+        (metric, paper, measured, "yes" if match else "NO")
+        for metric, paper, measured, match in comparison_rows(result)
+    ]
+    print(
+        render_table(
+            ("Metric", "Paper", "Measured", "Match"),
+            rows,
+            title="Paper vs measured",
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result_to_json(result))
+    if args.html:
+        from repro.reporting import render_html_report
+
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html_report(result))
+        print(f"HTML report written to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _deploy_one(server_id, type_name):
+    catalog = build_java_catalog() if server_id != "wcf" else build_dotnet_catalog()
+    type_info = catalog.require(type_name)
+    container = container_for(server_id)
+    return container.deploy(ServiceDefinition(type_info))
+
+
+def cmd_experiments(args):
+    started = time.time()
+    result = _run_campaign(args)
+    from repro.reporting import render_experiments_markdown
+
+    markdown = render_experiments_markdown(
+        result, elapsed_seconds=time.time() - started
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"experiment report written to {args.output}", file=sys.stderr)
+    else:
+        print(markdown)
+    return 0
+
+
+def cmd_stats(args):
+    from repro.core.stats import (
+        error_code_taxonomy,
+        maturity_ranking,
+        per_language_error_rates,
+        per_server_error_rates,
+        wsi_association_test,
+    )
+
+    result = _run_campaign(args)
+    print(
+        render_table(
+            ("Diagnostic code", "Erroring tests"),
+            error_code_taxonomy(result),
+            title="Error-cause taxonomy",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ("Client", "Error tests", "Tests"),
+            maturity_ranking(result),
+            title="Tool maturity ranking (fewest errors first)",
+        )
+    )
+    print()
+    language_rows = [
+        (language, data["error_tests"], data["tests"], f"{data['rate']:.4f}")
+        for language, data in per_language_error_rates(result).items()
+    ]
+    print(
+        render_table(
+            ("Language", "Error tests", "Tests", "Rate"),
+            language_rows,
+            title="Per-language error rates",
+        )
+    )
+    print()
+    server_rows = [
+        (server_id, data["error_tests"], data["tests"], f"{data['rate']:.4f}")
+        for server_id, data in per_server_error_rates(result).items()
+    ]
+    print(
+        render_table(
+            ("Server", "Error tests", "Tests", "Rate"),
+            server_rows,
+            title="Per-server error rates",
+        )
+    )
+    print()
+    association = wsi_association_test(result)
+    (a, b), (c, d) = association["table"]
+    print("WS-I warned x errored association (service level):")
+    print(f"  table: warned [err={a} ok={b}]  clean [err={c} ok={d}]")
+    print(f"  chi2 = {association['chi2']:.1f}, p = {association['p_value']:.3g}, "
+          f"odds ratio = {association['odds_ratio']:.1f}")
+    return 0
+
+
+def cmd_lifecycle_campaign(args):
+    from repro.core.extended import LifecycleCampaign
+
+    campaign = LifecycleCampaign(
+        _config_from(args), sample_per_server=args.sample
+    )
+    result = campaign.run(progress=_progress if args.verbose else None)
+    rows = []
+    for server_id in result.server_ids:
+        for client_id in result.client_ids:
+            cell = result.cell(server_id, client_id)
+            rows.append((server_id, client_id) + cell.as_row())
+    print(
+        render_table(
+            ("Server", "Client", "GenErr", "CompErr", "CommErr", "ExecErr", "Done"),
+            rows,
+            title="Five-step lifecycle outcomes",
+        )
+    )
+    totals = result.totals()
+    print()
+    for key, value in totals.items():
+        print(f"{key}: {value}")
+    print(f"completion ratio: {result.completion_ratio():.3f}")
+    return 0
+
+
+def cmd_matrix(args):
+    from repro.core.matrix import render_matrix
+
+    result = _run_campaign(args)
+    print(render_matrix(result))
+    return 0
+
+
+def cmd_analyze(args):
+    from repro.core.store import load_result
+
+    result = load_result(args.result_file)
+    print(render_fig4(result))
+    print()
+    print(render_table3(result))
+    print()
+    headlines = headline_numbers(result)
+    print(
+        render_table(
+            ("Metric", "Value"),
+            [(key, round(value, 4) if isinstance(value, float) else value)
+             for key, value in headlines.items()],
+            title="Headline numbers",
+        )
+    )
+    return 0
+
+
+def cmd_wsdl(args):
+    record = _deploy_one(args.server, args.type_name)
+    if not record.accepted:
+        print(f"deployment refused: {record.reason}", file=sys.stderr)
+        return 1
+    from repro.wsdl.builder import serialize_wsdl
+
+    print(serialize_wsdl(record.wsdl, pretty=True))
+    return 0
+
+
+def cmd_check(args):
+    record = _deploy_one(args.server, args.type_name)
+    if not record.accepted:
+        print(f"deployment refused: {record.reason}", file=sys.stderr)
+        return 1
+    report = check_document(read_wsdl_text(record.wsdl_text))
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation.severity.value}: {violation}")
+    return 0 if report.conformant else 2
+
+
+def cmd_lifecycle(args):
+    from repro.runtime import run_full_lifecycle
+
+    record = _deploy_one(args.server, args.type_name)
+    if not record.accepted:
+        print(f"deployment refused: {record.reason}", file=sys.stderr)
+        return 1
+    client = client_framework(args.client)
+    outcome = run_full_lifecycle(record, client, client_id=args.client)
+    print(f"service:       {outcome.service_name}")
+    print(f"client:        {client.name} ({client.language})")
+    print(f"generation:    {outcome.generation.value}")
+    print(f"compilation:   {outcome.compilation.value}")
+    print(f"communication: {outcome.communication.value}")
+    print(f"execution:     {outcome.execution.value}")
+    if outcome.detail:
+        print(f"detail:        {outcome.detail}")
+    return 0 if outcome.reached_execution else 2
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="wsinterop",
+        description="Web-service framework interoperability assessment "
+        "(DSN 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I and II").set_defaults(
+        func=cmd_tables
+    )
+    corpus_parser = sub.add_parser(
+        "corpus", help="print the type-catalog populations"
+    )
+    corpus_parser.add_argument(
+        "--detail", action="store_true",
+        help="kinds, namespaces and failure-class populations",
+    )
+    corpus_parser.set_defaults(func=cmd_corpus)
+
+    run_parser = sub.add_parser("run", help="run the campaign, print totals")
+    run_parser.add_argument("--quick", action="store_true", help="small corpora")
+    run_parser.add_argument("--verbose", action="store_true")
+    run_parser.add_argument("--csv", help="write per-combination CSV here")
+    run_parser.add_argument("--json", help="write JSON results here")
+    run_parser.add_argument(
+        "--save", help="persist the full result (re-analyzable with `analyze`)"
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    matrix_parser = sub.add_parser(
+        "matrix", help="print the interoperability verdict grid"
+    )
+    matrix_parser.add_argument("--quick", action="store_true")
+    matrix_parser.add_argument("--verbose", action="store_true")
+    matrix_parser.set_defaults(func=cmd_matrix)
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="re-analyze a result saved with `run --save`"
+    )
+    analyze_parser.add_argument("result_file")
+    analyze_parser.set_defaults(func=cmd_analyze)
+
+    report_parser = sub.add_parser(
+        "report", help="run the campaign, print Fig. 4 / Table III / comparison"
+    )
+    report_parser.add_argument("--quick", action="store_true")
+    report_parser.add_argument("--verbose", action="store_true")
+    report_parser.add_argument("--json", help="write JSON results here")
+    report_parser.add_argument("--html", help="write a standalone HTML report here")
+    report_parser.set_defaults(func=cmd_report)
+
+    experiments_parser = sub.add_parser(
+        "experiments", help="render the EXPERIMENTS.md paper-vs-measured report"
+    )
+    experiments_parser.add_argument("--quick", action="store_true")
+    experiments_parser.add_argument("--verbose", action="store_true")
+    experiments_parser.add_argument("-o", "--output", help="write markdown here")
+    experiments_parser.set_defaults(func=cmd_experiments)
+
+    stats_parser = sub.add_parser(
+        "stats", help="error taxonomy, maturity ranking and WS-I association"
+    )
+    stats_parser.add_argument("--quick", action="store_true")
+    stats_parser.add_argument("--verbose", action="store_true")
+    stats_parser.set_defaults(func=cmd_stats)
+
+    lifecycle_campaign_parser = sub.add_parser(
+        "lifecycle-campaign",
+        help="run the five-step lifecycle campaign (paper's future work)",
+    )
+    lifecycle_campaign_parser.add_argument("--quick", action="store_true")
+    lifecycle_campaign_parser.add_argument("--verbose", action="store_true")
+    lifecycle_campaign_parser.add_argument(
+        "--sample", type=int, default=None,
+        help="max deployed services per server to drive through steps 4-5",
+    )
+    lifecycle_campaign_parser.set_defaults(func=cmd_lifecycle_campaign)
+
+    for name, func, help_text in (
+        ("wsdl", cmd_wsdl, "print the WSDL published for one service"),
+        ("check", cmd_check, "WS-I check the WSDL of one service"),
+    ):
+        one = sub.add_parser(name, help=help_text)
+        one.add_argument("server", choices=SERVER_IDS)
+        one.add_argument("type_name", help="fully-qualified parameter type")
+        one.set_defaults(func=func)
+
+    lifecycle_parser = sub.add_parser(
+        "lifecycle", help="run the full 5-step lifecycle for one combination"
+    )
+    lifecycle_parser.add_argument("server", choices=SERVER_IDS)
+    lifecycle_parser.add_argument("type_name")
+    lifecycle_parser.add_argument("--client", choices=CLIENT_IDS, default="suds")
+    lifecycle_parser.set_defaults(func=cmd_lifecycle)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

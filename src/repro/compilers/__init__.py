@@ -1,0 +1,39 @@
+"""Compiler simulators for generated client artifacts.
+
+Every compilation failure the paper reports is *semantic*: wrongly named
+attributes, duplicate variables, case-insensitive collisions, missing
+helper functions, plus one genuine compiler crash.  These simulators run
+the corresponding semantic checks over the artifact model:
+
+* :class:`JavaCompiler` (javac) — duplicate members, unresolved symbols,
+  and the "unchecked or unsafe operations" note for raw collection types.
+* :class:`CSharpCompiler` (csc) — case-sensitive duplicate/unresolved.
+* :class:`VisualBasicCompiler` (vbc) — the same checks but
+  case-insensitive, which is what breaks the WebControls artifacts.
+* :class:`JScriptCompiler` (jsc) — unresolved checks plus the
+  ``131 INTERNAL COMPILER CRASH`` behaviour on pathological inputs.
+* :class:`CppCompiler` (g++) — duplicate members and unresolved symbols
+  for gSOAP's generated headers.
+"""
+
+from repro.compilers.base import CompilationResult, SemanticCompiler
+from repro.compilers.diagnostics import CompilerDiagnostic, DiagnosticSeverity
+from repro.compilers.toolchains import (
+    CppCompiler,
+    CSharpCompiler,
+    JavaCompiler,
+    JScriptCompiler,
+    VisualBasicCompiler,
+)
+
+__all__ = [
+    "CompilationResult",
+    "CompilerDiagnostic",
+    "CppCompiler",
+    "CSharpCompiler",
+    "DiagnosticSeverity",
+    "JavaCompiler",
+    "JScriptCompiler",
+    "SemanticCompiler",
+    "VisualBasicCompiler",
+]

@@ -1,0 +1,30 @@
+"""Compiler diagnostic model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DiagnosticSeverity(enum.Enum):
+    """Severity of a compiler diagnostic."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class CompilerDiagnostic:
+    """One message a compiler produced."""
+
+    severity: DiagnosticSeverity
+    code: str
+    message: str
+    unit: str = ""
+
+    @property
+    def is_error(self):
+        return self.severity is DiagnosticSeverity.ERROR
+
+    def __str__(self):
+        return f"{self.severity.value}: [{self.code}] {self.message}"

@@ -1,0 +1,53 @@
+"""Concrete compiler simulators."""
+
+from __future__ import annotations
+
+from repro.compilers.base import SemanticCompiler
+
+
+class JavaCompiler(SemanticCompiler):
+    """``javac``: case-sensitive, warns on raw collection types."""
+
+    name = "javac"
+    language = "java"
+    warns_on_raw_types = True
+    extra_builtins = frozenset(
+        {"XMLGregorianCalendar", "DatatypeFactory", "JAXBElement", "Holder"}
+    )
+
+
+class CSharpCompiler(SemanticCompiler):
+    """``csc``: case-sensitive."""
+
+    name = "csc"
+    language = "csharp"
+    extra_builtins = frozenset({"DataSet", "XmlElement", "XmlNode", "SoapHttpClientProtocol"})
+
+
+class VisualBasicCompiler(SemanticCompiler):
+    """``vbc``: VB.NET is case-insensitive, so members that differ only
+    in letter case collide — the defect behind the WebControls failures."""
+
+    name = "vbc"
+    language = "vb"
+    case_sensitive = False
+    extra_builtins = CSharpCompiler.extra_builtins
+
+
+class JScriptCompiler(SemanticCompiler):
+    """``jsc``: case-sensitive, crashes outright on pathological units."""
+
+    name = "jsc"
+    language = "jscript"
+    crashes_on_flag = "crash-compiler"
+    extra_builtins = frozenset({"DataSet", "XmlElement", "SoapHttpClientProtocol"})
+
+
+class CppCompiler(SemanticCompiler):
+    """``g++`` over gSOAP's generated headers and serializers."""
+
+    name = "g++"
+    language = "cpp"
+    extra_builtins = frozenset(
+        {"std::string", "std::vector", "soap", "SOAP_ENV__Fault", "_XML"}
+    )

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the interoperability assessment
+approach (Fig. 2) and its execution harness.
+
+* :mod:`repro.core.outcomes` — step/status model for classified results;
+* :mod:`repro.core.pipeline` — one client test (generation → compilation
+  or instantiation) with the paper's error-gating semantics;
+* :mod:`repro.core.campaign` — the two phases (Preparation, Testing)
+  over selected servers, clients and corpora;
+* :mod:`repro.core.results` — aggregation into the shapes of Fig. 4 and
+  Table III;
+* :mod:`repro.core.analysis` — derived findings (WS-I predictive power,
+  same-framework failures, headline totals).
+"""
+
+from repro.core.campaign import Campaign, CampaignConfig, run_default_campaign
+from repro.core.extended import LifecycleCampaign, LifecycleCampaignResult
+from repro.core.outcomes import ClientTestRecord, Step, StepOutcome, StepStatus
+from repro.core.phases import PreparationPhase, TestingPhase
+from repro.core.results import CampaignResult, CellStats, ServerRunReport
+from repro.core.store import load_result, save_result
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "LifecycleCampaign",
+    "LifecycleCampaignResult",
+    "PreparationPhase",
+    "TestingPhase",
+    "load_result",
+    "save_result",
+    "CampaignResult",
+    "CellStats",
+    "ClientTestRecord",
+    "ServerRunReport",
+    "Step",
+    "StepOutcome",
+    "StepStatus",
+    "run_default_campaign",
+]

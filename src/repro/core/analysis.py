@@ -1,0 +1,75 @@
+"""Derived analyses over a campaign result (§IV findings)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.frameworks.registry import is_same_framework
+
+
+def same_framework_error_tests(result):
+    """Tests where a framework failed against its *own* server subsystem.
+
+    The paper reports 307 such cases (§V) — "we would expect good
+    inter-operation between the client subsystem and the server subsystem
+    of the same framework, but this is not always the case".
+    """
+    count = 0
+    for (server_id, client_id), cell in result.cells.items():
+        if is_same_framework(server_id, client_id):
+            count += cell.error_tests
+    return count
+
+
+def error_services_by_server(result):
+    """Per server: the set of service names that saw ≥1 erroring test."""
+    errors = defaultdict(set)
+    for record in result.records:
+        if record.has_error:
+            errors[record.server_id].add(record.service_name)
+    return dict(errors)
+
+
+def wsi_predictive_power(result):
+    """How well the WS-I check predicts later errors (§IV.A).
+
+    Returns ``(warned, warned_with_errors, ratio)``: of the services
+    flagged at the Service Description Generation step, how many hit at
+    least one error later on.  The paper reports 95.3% (82 of 86).
+    """
+    errors = error_services_by_server(result)
+    warned = 0
+    warned_with_errors = 0
+    for server_id, report in result.servers.items():
+        flagged = report.sdg_warning_services
+        warned += len(flagged)
+        warned_with_errors += len(flagged & errors.get(server_id, set()))
+    ratio = warned_with_errors / warned if warned else 0.0
+    return warned, warned_with_errors, ratio
+
+
+def error_free_wsi_warned_services(result):
+    """Names of WS-I-warned services that finished the study error-free.
+
+    The paper: "only 4 services (of the 86) will reach the final step of
+    the study without showing some kind of error"."""
+    errors = error_services_by_server(result)
+    survivors = []
+    for server_id, report in result.servers.items():
+        for name in sorted(report.sdg_warning_services - errors.get(server_id, set())):
+            survivors.append((server_id, name))
+    return survivors
+
+
+def headline_numbers(result):
+    """The campaign's headline counters, paper §IV/§V."""
+    totals = result.totals()
+    warned, warned_with_errors, ratio = wsi_predictive_power(result)
+    return {
+        **totals,
+        "same_framework_error_tests": same_framework_error_tests(result),
+        "wsi_warned_services": warned,
+        "wsi_warned_with_errors": warned_with_errors,
+        "wsi_predictive_ratio": ratio,
+        "wsi_error_free_services": len(error_free_wsi_warned_services(result)),
+    }

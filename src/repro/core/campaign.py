@@ -1,0 +1,167 @@
+"""The two-phase assessment campaign (Fig. 2).
+
+Preparation Phase: select server and client frameworks, build the type
+catalogs (optionally by crawling the simulated documentation sites) and
+generate the service corpus.
+
+Testing Phase: deploy every service (Service Description Generation),
+check each published WSDL against WS-I BP 1.1, then run every client
+subsystem over every WSDL (Client Artifact Generation + Compilation),
+classifying each step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.appservers import container_for
+from repro.core.pipeline import run_client_test
+from repro.core.results import CampaignResult, ServerRunReport
+from repro.frameworks.registry import CLIENT_IDS, SERVER_IDS, all_client_frameworks
+from repro.services import generate_corpus
+from repro.typesystem import (
+    DEFAULT_DOTNET_QUOTAS,
+    DEFAULT_JAVA_QUOTAS,
+    build_dotnet_catalog,
+    build_java_catalog,
+)
+from repro.wsdl import read_wsdl_text
+from repro.wsi import check_document
+
+#: Which language catalog each server framework consumes.
+_SERVER_CATALOG = {"metro": "java", "jbossws": "java", "wcf": "dotnet"}
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one campaign run."""
+
+    server_ids: tuple = SERVER_IDS
+    client_ids: tuple = CLIENT_IDS
+    java_quotas: object = DEFAULT_JAVA_QUOTAS
+    dotnet_quotas: object = DEFAULT_DOTNET_QUOTAS
+    #: Re-parse the serialized WSDL text for every client test instead of
+    #: sharing one parsed document per service.  Slower but closest to
+    #: what real tools do; results are identical because parsing is
+    #: deterministic.
+    parse_per_client: bool = False
+    #: What-if overrides: ``{client_id: {flag: value}}`` applied to the
+    #: instantiated client frameworks.  Used by the fix-impact ablation
+    #: to simulate a tool with one of its documented bugs repaired
+    #: (e.g. ``{"axis1": {"throwable_wrapper_bug": False}}``).
+    client_flag_overrides: dict = field(default_factory=dict)
+
+
+class Campaign:
+    """Runs the assessment approach end to end."""
+
+    def __init__(self, config=None):
+        self.config = config or CampaignConfig()
+        self._catalogs = {}
+
+    # -- Preparation Phase ---------------------------------------------------
+
+    def catalog(self, language):
+        """Build (and cache) the catalog for ``language``."""
+        if language not in self._catalogs:
+            if language == "java":
+                self._catalogs[language] = build_java_catalog(self.config.java_quotas)
+            elif language == "dotnet":
+                self._catalogs[language] = build_dotnet_catalog(
+                    self.config.dotnet_quotas
+                )
+            else:
+                raise ValueError(f"unknown catalog language {language!r}")
+        return self._catalogs[language]
+
+    def corpus_for(self, server_id):
+        """The service corpus deployed on ``server_id``."""
+        return generate_corpus(self.catalog(_SERVER_CATALOG[server_id]))
+
+    # -- Testing Phase ---------------------------------------------------------
+
+    def run(self, progress=None):
+        """Execute the campaign; returns a :class:`CampaignResult`.
+
+        ``progress`` is an optional callable ``(message: str) -> None``.
+        """
+        config = self.config
+        result = CampaignResult(
+            server_ids=tuple(config.server_ids),
+            client_ids=tuple(config.client_ids),
+        )
+        clients = {
+            client_id: client
+            for client_id, client in all_client_frameworks().items()
+            if client_id in config.client_ids
+        }
+        for client_id, overrides in config.client_flag_overrides.items():
+            client = clients.get(client_id)
+            if client is None:
+                continue
+            for flag, value in overrides.items():
+                if not hasattr(client, flag):
+                    raise AttributeError(
+                        f"client {client_id!r} has no behaviour flag {flag!r}"
+                    )
+                setattr(client, flag, value)
+
+        for server_id in config.server_ids:
+            started = time.perf_counter()
+            container = container_for(server_id)
+            corpus = self.corpus_for(server_id)
+            if progress:
+                progress(
+                    f"[{server_id}] deploying {len(corpus)} services on "
+                    f"{container.name} {container.version}"
+                )
+            container.deploy_corpus(corpus)
+
+            report = ServerRunReport(
+                server_id=server_id,
+                server_name=container.framework.name,
+                services_total=len(corpus),
+                deployed=len(container.deployed),
+                refused=len(container.refused),
+            )
+
+            for index, record in enumerate(container.deployed):
+                document = read_wsdl_text(record.wsdl_text)
+                wsi = check_document(document)
+                if wsi.failures:
+                    report.wsi_failing.add(document.name)
+                elif wsi.advisories:
+                    report.wsi_advisory_only.add(document.name)
+
+                for client_id, client in clients.items():
+                    if config.parse_per_client:
+                        document_for_client = read_wsdl_text(record.wsdl_text)
+                    else:
+                        document_for_client = document
+                    result.add_record(
+                        run_client_test(
+                            server_id, client_id, client, document_for_client
+                        )
+                    )
+                if progress and (index + 1) % 500 == 0:
+                    progress(
+                        f"[{server_id}] tested {index + 1}/{len(container.deployed)} "
+                        "services"
+                    )
+
+            result.servers[server_id] = report
+            result.meta.setdefault("wall_seconds", {})[server_id] = round(
+                time.perf_counter() - started, 3
+            )
+            if progress:
+                progress(
+                    f"[{server_id}] done: {report.deployed} deployed, "
+                    f"{report.refused} refused, {report.sdg_warnings} WS-I warnings"
+                )
+        return result
+
+
+def run_default_campaign(progress=None):
+    """Run the full paper-scale campaign (79,629 tests)."""
+    return Campaign(CampaignConfig()).run(progress=progress)

@@ -1,0 +1,69 @@
+"""Regression diffing between two campaign results.
+
+The study is meant to be re-run as frameworks evolve; this module makes
+two runs comparable: which (server, client) cells changed, and how the
+headline counters moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_METRICS = ("gen_warnings", "gen_errors", "comp_warnings", "comp_errors")
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One changed Table III cell."""
+
+    server_id: str
+    client_id: str
+    metric: str
+    before: int
+    after: int
+
+    @property
+    def delta(self):
+        return self.after - self.before
+
+    def __str__(self):
+        sign = "+" if self.delta > 0 else ""
+        return (
+            f"{self.server_id}/{self.client_id} {self.metric}: "
+            f"{self.before} -> {self.after} ({sign}{self.delta})"
+        )
+
+
+def diff_results(before, after):
+    """All cell-level differences between two results.
+
+    Only cells present in both results are compared; rows come back
+    sorted by (server, client, metric).
+    """
+    diffs = []
+    for key in sorted(set(before.cells) & set(after.cells)):
+        server_id, client_id = key
+        old_row = before.cells[key].as_row()
+        new_row = after.cells[key].as_row()
+        for metric, old_value, new_value in zip(_METRICS, old_row, new_row):
+            if old_value != new_value:
+                diffs.append(
+                    CellDiff(server_id, client_id, metric, old_value, new_value)
+                )
+    return diffs
+
+
+def diff_totals(before, after):
+    """Headline counter movements: ``{metric: (before, after)}``."""
+    old_totals = before.totals()
+    new_totals = after.totals()
+    return {
+        key: (old_totals[key], new_totals[key])
+        for key in old_totals
+        if key in new_totals and old_totals[key] != new_totals[key]
+    }
+
+
+def results_equivalent(before, after):
+    """True when both runs agree cell-for-cell and total-for-total."""
+    return not diff_results(before, after) and not diff_totals(before, after)

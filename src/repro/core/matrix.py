@@ -1,0 +1,89 @@
+"""The interoperability matrix: who can actually talk to whom.
+
+The paper's bottom line is that "inter-operation between different
+frameworks is not yet fully achieved".  This module condenses a campaign
+result into that message: for every (server, client) pair, the fraction
+of services that survive every tested step, and a verdict grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: A pair is "fully interoperable" only if no test failed at all —
+#: the paper's §V standard: "even a single interoperability error
+#: should be considered unacceptable".
+FULL = "full"
+#: Errors on fewer than this fraction of services: mostly works.
+PARTIAL = "partial"
+#: Anything worse.
+BROKEN = "broken"
+
+_PARTIAL_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """Interoperability verdict for one (server, client) pair."""
+
+    server_id: str
+    client_id: str
+    tests: int
+    error_tests: int
+
+    @property
+    def ok_ratio(self):
+        if not self.tests:
+            return 0.0
+        return 1.0 - self.error_tests / self.tests
+
+    @property
+    def verdict(self):
+        if self.error_tests == 0:
+            return FULL
+        if self.error_tests / self.tests <= _PARTIAL_THRESHOLD:
+            return PARTIAL
+        return BROKEN
+
+
+def interop_matrix(result):
+    """``{(server_id, client_id): MatrixCell}`` for a campaign result."""
+    matrix = {}
+    for (server_id, client_id), cell in result.cells.items():
+        matrix[(server_id, client_id)] = MatrixCell(
+            server_id=server_id,
+            client_id=client_id,
+            tests=cell.tests,
+            error_tests=cell.error_tests,
+        )
+    return matrix
+
+
+def fully_interoperable_pairs(result):
+    """Pairs with zero erroring tests, sorted."""
+    return sorted(
+        key for key, cell in interop_matrix(result).items() if cell.verdict == FULL
+    )
+
+
+def render_matrix(result):
+    """ASCII verdict grid: one row per client, one column per server."""
+    matrix = interop_matrix(result)
+    symbols = {FULL: "  OK  ", PARTIAL: " ~ok  ", BROKEN: " FAIL "}
+    width = max((len(client_id) for client_id in result.client_ids), default=6)
+    header = " " * width + " |" + "|".join(
+        f"{server_id:^8}" for server_id in result.server_ids
+    )
+    lines = [
+        "Interoperability matrix "
+        "(OK = zero errors; ~ok = <5% of services; FAIL = worse)",
+        header,
+        "-" * len(header),
+    ]
+    for client_id in result.client_ids:
+        cells = []
+        for server_id in result.server_ids:
+            cell = matrix[(server_id, client_id)]
+            cells.append(f"{symbols[cell.verdict]:^8}")
+        lines.append(f"{client_id:<{width}} |" + "|".join(cells))
+    return "\n".join(lines)

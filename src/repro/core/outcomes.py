@@ -1,0 +1,95 @@
+"""Classified outcomes for the Testing Phase steps (§III.B.d)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Step(enum.Enum):
+    """The three interoperability-critical steps under study."""
+
+    SERVICE_DESCRIPTION = "service-description-generation"
+    ARTIFACT_GENERATION = "client-artifact-generation"
+    ARTIFACT_COMPILATION = "client-artifact-compilation"
+
+
+class StepStatus(enum.Enum):
+    """Classification of one step's outcome.
+
+    ``SKIPPED`` means an earlier step's error suppressed this one;
+    ``NOT_APPLICABLE`` marks compilation for dynamic-language platforms
+    (Table II note 3 — instantiation is checked during generation).
+    """
+
+    OK = "ok"
+    WARNING = "warning"
+    ERROR = "error"
+    SKIPPED = "skipped"
+    NOT_APPLICABLE = "n/a"
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """One step's classified outcome with diagnostic counts."""
+
+    status: StepStatus
+    error_count: int = 0
+    warning_count: int = 0
+    codes: tuple = ()
+
+    @property
+    def has_error(self):
+        return self.error_count > 0
+
+    @property
+    def has_warning(self):
+        return self.warning_count > 0
+
+    @property
+    def executed(self):
+        return self.status not in (StepStatus.SKIPPED, StepStatus.NOT_APPLICABLE)
+
+
+OK_OUTCOME = StepOutcome(StepStatus.OK)
+SKIPPED_OUTCOME = StepOutcome(StepStatus.SKIPPED)
+NOT_APPLICABLE_OUTCOME = StepOutcome(StepStatus.NOT_APPLICABLE)
+
+
+def classify(error_count, warning_count, codes=()):
+    """Build a :class:`StepOutcome` from diagnostic counts."""
+    if error_count:
+        status = StepStatus.ERROR
+    elif warning_count:
+        status = StepStatus.WARNING
+    else:
+        status = StepStatus.OK
+    return StepOutcome(
+        status=status,
+        error_count=error_count,
+        warning_count=warning_count,
+        codes=tuple(codes),
+    )
+
+
+@dataclass(frozen=True)
+class ClientTestRecord:
+    """One executed test: a (server, service, client) combination."""
+
+    server_id: str
+    client_id: str
+    service_name: str
+    generation: StepOutcome
+    compilation: StepOutcome
+
+    @property
+    def has_error(self):
+        return self.generation.has_error or self.compilation.has_error
+
+    @property
+    def has_warning(self):
+        return self.generation.has_warning or self.compilation.has_warning
+
+    @property
+    def error_free(self):
+        return not self.has_error

@@ -1,0 +1,51 @@
+"""Execution of one client test with the paper's gating semantics.
+
+An error in the Client Artifact Generation step suppresses the
+compilation step (§III.B) — with one empirically grounded exception: the
+Axis tools leave partial output behind and their compile wrapper scripts
+run javac over whatever exists, which is why Table III reports
+compilation warnings for every deployed service even where generation
+failed.
+"""
+
+from __future__ import annotations
+
+from repro.core.outcomes import (
+    NOT_APPLICABLE_OUTCOME,
+    SKIPPED_OUTCOME,
+    ClientTestRecord,
+    classify,
+)
+
+
+def run_client_test(server_id, client_id, client, document):
+    """Run ``client`` against a parsed WSDL ``document``."""
+    generation = client.generate(document)
+    generation_outcome = classify(
+        error_count=len(generation.errors),
+        warning_count=len(generation.warnings),
+        codes=sorted({diag.code for diag in generation.diagnostics}),
+    )
+
+    compilation_outcome = NOT_APPLICABLE_OUTCOME
+    if client.requires_compilation:
+        run_compile = generation.succeeded or (
+            client.compiles_partial_output and generation.bundle is not None
+        )
+        if run_compile:
+            compilation = client.compiler.compile(generation.bundle)
+            compilation_outcome = classify(
+                error_count=len(compilation.errors),
+                warning_count=len(compilation.warnings),
+                codes=sorted({diag.code for diag in compilation.diagnostics}),
+            )
+        else:
+            compilation_outcome = SKIPPED_OUTCOME
+
+    return ClientTestRecord(
+        server_id=server_id,
+        client_id=client_id,
+        service_name=document.name,
+        generation=generation_outcome,
+        compilation=compilation_outcome,
+    )

@@ -1,0 +1,145 @@
+"""Statistical analyses over campaign results.
+
+Beyond the paper's aggregate counts, these helpers quantify *why* tests
+fail (diagnostic-code taxonomy), *who* fails (per-language breakdown),
+and whether the WS-I check's predictive power is statistically
+significant (chi-square / Fisher over the service-level contingency
+table) — the quantitative backing for the §IV.A discussion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.core.analysis import error_services_by_server
+from repro.frameworks.registry import all_client_frameworks
+
+
+def diagnostic_code_frequencies(result):
+    """How often each diagnostic code appears, per step.
+
+    Returns ``{"generation": Counter, "compilation": Counter}`` counting
+    *tests* whose outcome carried the code.
+    """
+    generation = Counter()
+    compilation = Counter()
+    for record in result.records:
+        for code in record.generation.codes:
+            generation[code] += 1
+        for code in record.compilation.codes:
+            compilation[code] += 1
+    return {"generation": generation, "compilation": compilation}
+
+
+def error_code_taxonomy(result):
+    """Codes carried by *erroring* outcomes only, most frequent first."""
+    taxonomy = Counter()
+    for record in result.records:
+        if record.generation.has_error:
+            taxonomy.update(record.generation.codes)
+        if record.compilation.has_error:
+            taxonomy.update(record.compilation.codes)
+    return taxonomy.most_common()
+
+
+def per_language_error_rates(result):
+    """Error rate of each client language across the whole campaign."""
+    clients = all_client_frameworks()
+    by_language = defaultdict(lambda: [0, 0])  # language -> [errors, tests]
+    for (server_id, client_id), cell in result.cells.items():
+        language = clients[client_id].language
+        by_language[language][0] += cell.error_tests
+        by_language[language][1] += cell.tests
+    return {
+        language: {
+            "error_tests": errors,
+            "tests": tests,
+            "rate": errors / tests if tests else 0.0,
+        }
+        for language, (errors, tests) in sorted(by_language.items())
+    }
+
+
+def per_server_error_rates(result):
+    """Error rate per server framework (which platform hurts most)."""
+    rates = {}
+    for server_id in result.server_ids:
+        errors = tests = 0
+        for client_id in result.client_ids:
+            cell = result.cell(server_id, client_id)
+            errors += cell.error_tests
+            tests += cell.tests
+        rates[server_id] = {
+            "error_tests": errors,
+            "tests": tests,
+            "rate": errors / tests if tests else 0.0,
+        }
+    return rates
+
+
+def wsi_contingency_table(result):
+    """Service-level 2×2 table: WS-I warned × saw-an-error.
+
+    Rows: warned / not warned.  Columns: errored / error-free.
+    """
+    errors = error_services_by_server(result)
+    warned_err = warned_ok = clean_err = clean_ok = 0
+    for server_id, report in result.servers.items():
+        flagged = report.sdg_warning_services
+        errored = errors.get(server_id, set())
+        deployed_names = {
+            record.service_name
+            for record in result.records
+            if record.server_id == server_id
+        }
+        for name in deployed_names:
+            warned = name in flagged
+            bad = name in errored
+            if warned and bad:
+                warned_err += 1
+            elif warned:
+                warned_ok += 1
+            elif bad:
+                clean_err += 1
+            else:
+                clean_ok += 1
+    return ((warned_err, warned_ok), (clean_err, clean_ok))
+
+
+def wsi_association_test(result):
+    """Chi-square test of independence over the WS-I contingency table.
+
+    Returns ``{"table": ..., "chi2": ..., "p_value": ..., "odds_ratio": ...}``.
+    A tiny p-value confirms the §IV.A claim that WS-I failure and later
+    interoperability errors are strongly associated.
+    """
+    from scipy import stats
+
+    table = wsi_contingency_table(result)
+    chi2, p_value, __, __ = stats.chi2_contingency(table)
+    (a, b), (c, d) = table
+    odds_ratio = float("inf") if b * c == 0 else (a * d) / (b * c)
+    return {
+        "table": table,
+        "chi2": float(chi2),
+        "p_value": float(p_value),
+        "odds_ratio": odds_ratio,
+    }
+
+
+def maturity_ranking(result):
+    """Rank client tools by total error tests (the §IV.A maturity story).
+
+    Returns ``[(client_id, error_tests, tests), ...]`` most reliable
+    first — the paper singles out Metro/CXF/JBossWS/gSOAP/C# as mature
+    and JScript/Axis1 as problem tools.
+    """
+    totals = defaultdict(lambda: [0, 0])
+    for (server_id, client_id), cell in result.cells.items():
+        totals[client_id][0] += cell.error_tests
+        totals[client_id][1] += cell.tests
+    ranked = [
+        (client_id, errors, tests) for client_id, (errors, tests) in totals.items()
+    ]
+    ranked.sort(key=lambda item: (item[1], item[0]))
+    return ranked

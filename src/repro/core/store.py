@@ -1,0 +1,110 @@
+"""Persistence: save and load campaign results as JSON.
+
+The study's published artifact was a website of result files; this store
+plays that role.  ``save_result``/``load_result`` round-trip everything
+the aggregations and analyses need — per-record step outcomes included —
+so a saved run can be re-analyzed without re-executing 79,629 tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.outcomes import ClientTestRecord, StepOutcome, StepStatus
+from repro.core.results import CampaignResult, ServerRunReport
+
+_FORMAT_VERSION = 1
+
+
+def _outcome_to_obj(outcome):
+    return {
+        "status": outcome.status.value,
+        "errors": outcome.error_count,
+        "warnings": outcome.warning_count,
+        "codes": list(outcome.codes),
+    }
+
+
+def _outcome_from_obj(obj):
+    return StepOutcome(
+        status=StepStatus(obj["status"]),
+        error_count=obj["errors"],
+        warning_count=obj["warnings"],
+        codes=tuple(obj["codes"]),
+    )
+
+
+def result_to_obj(result, include_records=True):
+    """Convert a :class:`CampaignResult` to a JSON-compatible dict."""
+    obj = {
+        "format": _FORMAT_VERSION,
+        "server_ids": list(result.server_ids),
+        "client_ids": list(result.client_ids),
+        "servers": {
+            server_id: {
+                "name": report.server_name,
+                "services_total": report.services_total,
+                "deployed": report.deployed,
+                "refused": report.refused,
+                "wsi_failing": sorted(report.wsi_failing),
+                "wsi_advisory_only": sorted(report.wsi_advisory_only),
+            }
+            for server_id, report in result.servers.items()
+        },
+    }
+    if include_records:
+        obj["records"] = [
+            {
+                "server": record.server_id,
+                "client": record.client_id,
+                "service": record.service_name,
+                "generation": _outcome_to_obj(record.generation),
+                "compilation": _outcome_to_obj(record.compilation),
+            }
+            for record in result.records
+        ]
+    return obj
+
+
+def result_from_obj(obj):
+    """Rebuild a :class:`CampaignResult` from :func:`result_to_obj` output."""
+    if obj.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format: {obj.get('format')!r}")
+    result = CampaignResult(
+        server_ids=tuple(obj["server_ids"]),
+        client_ids=tuple(obj["client_ids"]),
+    )
+    for server_id, data in obj["servers"].items():
+        report = ServerRunReport(
+            server_id=server_id,
+            server_name=data["name"],
+            services_total=data["services_total"],
+            deployed=data["deployed"],
+            refused=data["refused"],
+        )
+        report.wsi_failing.update(data["wsi_failing"])
+        report.wsi_advisory_only.update(data["wsi_advisory_only"])
+        result.servers[server_id] = report
+    for item in obj.get("records", ()):
+        result.add_record(
+            ClientTestRecord(
+                server_id=item["server"],
+                client_id=item["client"],
+                service_name=item["service"],
+                generation=_outcome_from_obj(item["generation"]),
+                compilation=_outcome_from_obj(item["compilation"]),
+            )
+        )
+    return result
+
+
+def save_result(result, path, include_records=True):
+    """Write ``result`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_obj(result, include_records=include_records), handle)
+
+
+def load_result(path):
+    """Load a result previously written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_obj(json.load(handle))

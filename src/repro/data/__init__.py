@@ -1,0 +1,19 @@
+"""Published numbers from the paper, reconstructed self-consistently."""
+
+from repro.data.paper_results import (
+    PAPER_FIG4,
+    PAPER_HEADLINES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    RECONSTRUCTION_NOTES,
+)
+
+__all__ = [
+    "PAPER_FIG4",
+    "PAPER_HEADLINES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "RECONSTRUCTION_NOTES",
+]

@@ -1,0 +1,66 @@
+"""Realistic per-tool diagnostic formatting.
+
+The engine reports diagnostics with neutral codes and messages; real
+tools phrase the same failure very differently (``wsimport`` prints
+``[ERROR] undefined element declaration``, Axis wraps everything in a
+``WSDL2Java`` exception trace, ``wsdl.exe`` prefixes its error codes).
+This module renders a diagnostic the way the owning tool would print it,
+for CLI output and examples — cosmetics only, never used for counting.
+"""
+
+from __future__ import annotations
+
+#: tool name -> (error template, warning template).  ``{message}`` is the
+#: neutral diagnostic text, ``{code}`` its code.
+_TEMPLATES = {
+    "wsimport": (
+        "[ERROR] {message}\n  line ?? of the WSDL document",
+        "[WARNING] {message}",
+    ),
+    "wsdl2java": (
+        "Exception in thread \"main\" org.apache.axis.wsdl.WSDL2Java: {message}",
+        "WSDL2Java warning: {message}",
+    ),
+    "wsconsume": (
+        "Error: Failed to invoke WSDLToJava: {message}",
+        "Warning: {message}",
+    ),
+    "wsdl.exe": (
+        "Error: Unable to import binding from namespace: {message}",
+        "Warning: Schema validation warning: {message}",
+    ),
+    "wsdl2h+soapcpp2": (
+        "wsdl2h/soapcpp2 error: {message}",
+        "wsdl2h warning: {message}",
+    ),
+    "Zend_Soap_Client": (
+        "PHP Fatal error: Uncaught SoapFault exception: {message}",
+        "PHP Notice: {message}",
+    ),
+    "suds.client.Client": (
+        "suds.TypeNotFound: {message}",
+        "suds warning: {message}",
+    ),
+}
+
+_DEFAULT = ("error: {message}", "warning: {message}")
+
+
+def format_diagnostic(tool_name, diagnostic):
+    """Render ``diagnostic`` the way ``tool_name`` would print it."""
+    error_template, warning_template = _TEMPLATES.get(tool_name, _DEFAULT)
+    template = error_template if diagnostic.is_error else warning_template
+    return template.format(message=diagnostic.message, code=diagnostic.code)
+
+
+def format_generation_result(client, result):
+    """Render a whole generation run's output, tool style."""
+    lines = [f"$ {client.tool} {result.bundle.service if result.bundle else ''}".rstrip()]
+    for diagnostic in result.diagnostics:
+        lines.append(format_diagnostic(client.tool, diagnostic))
+    if result.succeeded:
+        count = len(result.bundle.units) if result.bundle else 0
+        lines.append(f"-> generated {count} artifact(s)")
+    else:
+        lines.append("-> generation FAILED")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Simulated API-documentation websites and the harvesting crawler.
+
+The paper gathered its type populations by crawling the Java SE 7 and
+.NET Framework online documentation with wget-based scripts (§III.A.c).
+This package substitutes an in-memory documentation site rendered from a
+catalog, plus a wget-like breadth-first crawler that extracts class names
+from the pages — the same harvesting code path, offline.
+"""
+
+from repro.docweb.crawler import CrawlStats, DocCrawler, harvest_type_names
+from repro.docweb.site import DocumentationSite, build_site
+
+__all__ = [
+    "CrawlStats",
+    "DocCrawler",
+    "DocumentationSite",
+    "build_site",
+    "harvest_type_names",
+]

@@ -1,0 +1,70 @@
+"""A wget-like breadth-first crawler over a documentation site."""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass, field
+
+_HREF = re.compile(r'href="([^"]+)"')
+_TYPE_HEADING = re.compile(
+    r'<h1 class="type-name" data-kind="([^"]+)">([^<]+)</h1>'
+)
+
+
+@dataclass
+class CrawlStats:
+    """What one crawl did."""
+
+    pages_fetched: int = 0
+    pages_missing: int = 0
+    type_names: list = field(default_factory=list)
+
+
+class DocCrawler:
+    """Breadth-first crawl from ``/index.html``, harvesting type names.
+
+    Mirrors the paper's wget scripts: follow every same-site link once,
+    and scrape the type-declaration headings.
+    """
+
+    def __init__(self, site, max_pages=None):
+        self.site = site
+        self.max_pages = max_pages
+
+    def crawl(self, start="/index.html"):
+        """Crawl the site; returns :class:`CrawlStats`."""
+        stats = CrawlStats()
+        queue = deque([start])
+        seen = {start}
+        while queue:
+            if self.max_pages is not None and stats.pages_fetched >= self.max_pages:
+                break
+            path = queue.popleft()
+            html = self.site.get(path)
+            if html is None:
+                stats.pages_missing += 1
+                continue
+            stats.pages_fetched += 1
+            heading = _TYPE_HEADING.search(html)
+            if heading is not None:
+                stats.type_names.append(heading.group(2))
+            for link in _HREF.findall(html):
+                if link.startswith(("http:", "https:", "#")):
+                    continue  # external or fragment — out of scope
+                if link not in seen:
+                    seen.add(link)
+                    queue.append(link)
+        return stats
+
+
+def harvest_type_names(catalog):
+    """End-to-end: build the site for ``catalog``, crawl it, return names.
+
+    This is the Preparation-Phase harvesting step: the returned list is
+    what the service generator consumes in the paper's workflow.
+    """
+    from repro.docweb.site import build_site
+
+    stats = DocCrawler(build_site(catalog)).crawl()
+    return sorted(stats.type_names)

@@ -1,0 +1,91 @@
+"""Render a catalog as an in-memory API documentation website."""
+
+from __future__ import annotations
+
+from html import escape
+
+
+class DocumentationSite:
+    """A tiny static website: path → HTML text.
+
+    Paths follow the layout of real API docs: an ``index.html`` listing
+    packages, one page per package listing its types, and one page per
+    type with declaration details.
+    """
+
+    def __init__(self, title):
+        self.title = title
+        self._pages = {}
+
+    def add_page(self, path, html):
+        if path in self._pages:
+            raise ValueError(f"duplicate page {path!r}")
+        self._pages[path] = html
+
+    def get(self, path):
+        """Fetch a page by path, or ``None`` (the crawler's 404)."""
+        return self._pages.get(path)
+
+    def __len__(self):
+        return len(self._pages)
+
+    def __contains__(self, path):
+        return path in self._pages
+
+    @property
+    def paths(self):
+        return sorted(self._pages)
+
+
+def _package_path(namespace):
+    return f"/packages/{namespace}.html"
+
+
+def _type_path(entry):
+    return f"/types/{entry.full_name}.html"
+
+
+def build_site(catalog, title=None):
+    """Build the documentation site for ``catalog``."""
+    site = DocumentationSite(title or f"{catalog.language.value} API documentation")
+
+    by_namespace = {}
+    for entry in catalog:
+        by_namespace.setdefault(entry.namespace, []).append(entry)
+
+    index_links = "".join(
+        f'<li><a href="{_package_path(ns)}">{escape(ns)}</a></li>'
+        for ns in sorted(by_namespace)
+    )
+    site.add_page(
+        "/index.html",
+        f"<html><head><title>{escape(site.title)}</title></head>"
+        f"<body><h1>{escape(site.title)}</h1><ul>{index_links}</ul></body></html>",
+    )
+
+    for namespace, entries in by_namespace.items():
+        links = "".join(
+            f'<li><a href="{_type_path(entry)}">{escape(entry.name)}</a></li>'
+            for entry in sorted(entries, key=lambda item: item.name)
+        )
+        site.add_page(
+            _package_path(namespace),
+            f"<html><body><h1>Package {escape(namespace)}</h1>"
+            f"<ul>{links}</ul>"
+            f'<p><a href="/index.html">All packages</a></p></body></html>',
+        )
+
+    for entry in catalog:
+        members = "".join(
+            f"<li><code>{escape(prop.name)}</code></li>" for prop in entry.properties
+        )
+        site.add_page(
+            _type_path(entry),
+            f"<html><body>"
+            f'<h1 class="type-name" data-kind="{escape(entry.kind.value)}">'
+            f"{escape(entry.full_name)}</h1>"
+            f"<ul>{members}</ul>"
+            f'<p><a href="{_package_path(entry.namespace)}">Package</a></p>'
+            f"</body></html>",
+        )
+    return site

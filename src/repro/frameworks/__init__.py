@@ -1,0 +1,38 @@
+"""Framework models: the systems under study.
+
+Server side (Table I): Oracle Metro 2.3, JBossWS CXF 4.2.3 and
+WCF .NET 4.0 — each with its own binding rules, WSDL emission style and
+documented quirks.
+
+Client side (Table II): eleven artifact-generation subsystems across
+seven languages.  Each client model parses WSDL with the shared substrate
+and then applies its *own* schema-binding and code-generation pass; the
+interoperability failures the paper reports emerge from those code paths
+hitting real constructs in the documents.
+"""
+
+from repro.frameworks.base import (
+    ClientFramework,
+    GenerationResult,
+    ServerFramework,
+    ToolDiagnostic,
+    ToolSeverity,
+)
+from repro.frameworks.registry import (
+    all_client_frameworks,
+    all_server_frameworks,
+    client_framework,
+    server_framework,
+)
+
+__all__ = [
+    "ClientFramework",
+    "GenerationResult",
+    "ServerFramework",
+    "ToolDiagnostic",
+    "ToolSeverity",
+    "all_client_frameworks",
+    "all_server_frameworks",
+    "client_framework",
+    "server_framework",
+]

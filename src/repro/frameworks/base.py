@@ -1,0 +1,195 @@
+"""Base classes shared by server and client framework models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ToolSeverity(enum.Enum):
+    """Severity of a tool (generator/deployer) diagnostic."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ToolDiagnostic:
+    """One message emitted by a framework tool."""
+
+    severity: ToolSeverity
+    code: str
+    message: str
+
+    @property
+    def is_error(self):
+        return self.severity is ToolSeverity.ERROR
+
+    def __str__(self):
+        return f"{self.severity.value}: [{self.code}] {self.message}"
+
+
+def warning(code, message):
+    """Convenience constructor for a warning diagnostic."""
+    return ToolDiagnostic(ToolSeverity.WARNING, code, message)
+
+
+def error(code, message):
+    """Convenience constructor for an error diagnostic."""
+    return ToolDiagnostic(ToolSeverity.ERROR, code, message)
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one client-artifact generation run."""
+
+    tool: str
+    bundle: object = None  # ArtifactBundle | None
+    diagnostics: list = field(default_factory=list)
+
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def succeeded(self):
+        return not self.errors
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of deploying one service on a server framework."""
+
+    service: object
+    accepted: bool
+    wsdl: object = None  # WsdlDocument | None
+    reason: str = ""
+
+
+class ServerFramework:
+    """A server-side framework subsystem (Table I row).
+
+    Subclasses implement :meth:`can_bind` (which types are describable)
+    and :meth:`generate_wsdl`.  ``deploy`` combines both the way an
+    application server does: refuse, or publish a WSDL.
+    """
+
+    name = ""
+    version = ""
+    language = ""
+
+    def can_bind(self, type_info):
+        """True if the framework can describe ``type_info`` in a WSDL."""
+        raise NotImplementedError
+
+    def rejection_reason(self, type_info):
+        """Human-readable reason :meth:`can_bind` returned False."""
+        return "type cannot be bound to an XSD type"
+
+    def generate_wsdl(self, service, endpoint_url):
+        """Produce the :class:`~repro.wsdl.model.WsdlDocument`."""
+        raise NotImplementedError
+
+    def deploy(self, service, endpoint_url):
+        """Deploy ``service``: refuse it or publish its WSDL.
+
+        Composite services (anything exposing ``parameter_types``)
+        deploy only if *every* member type is bindable.
+        """
+        member_types = getattr(service, "parameter_types", None)
+        if member_types is None:
+            member_types = (service.parameter_type,)
+        for type_info in member_types:
+            if not self.can_bind(type_info):
+                return DeploymentResult(
+                    service=service,
+                    accepted=False,
+                    reason=self.rejection_reason(type_info),
+                )
+        wsdl = self.generate_wsdl(service, endpoint_url)
+        return DeploymentResult(service=service, accepted=True, wsdl=wsdl)
+
+    def __repr__(self):
+        return f"<ServerFramework {self.name} {self.version}>"
+
+
+class ClientFramework:
+    """A client-side framework subsystem (Table II row).
+
+    The heavy lifting happens in :mod:`repro.frameworks.client.engine`;
+    subclasses mostly configure behaviour flags and code-generation
+    quirks.  See DESIGN.md §5 for the flag-to-paper-footnote mapping.
+    """
+
+    name = ""
+    version = ""
+    tool = ""
+    language = ""
+    #: Key into the artifact renderers / type maps ("java", "csharp",
+    #: "vb", "jscript", "cpp", "php", "python").
+    lang_key = "java"
+
+    #: Does this platform compile artifacts (Table II "Compilation")?
+    requires_compilation = True
+    #: Compiler simulator used when ``requires_compilation``.
+    compiler = None
+    #: The tool leaves partial output behind on failure, and the added
+    #: compile wrapper script compiles whatever exists (Axis behaviour).
+    compiles_partial_output = False
+
+    # -- schema-processing strictness ---------------------------------------
+    resolves_imports = True
+    strict_element_refs = True
+    tolerates_xsd_namespace_refs = False
+    supports_schema_in_instance = False
+    validates_attribute_uniqueness = False
+    validates_attribute_types = False
+    rejects_lax_wildcards = False
+    rejects_keyref = False
+    fails_on_recursive_refs = False
+
+    # -- portType handling ---------------------------------------------------
+    requires_operations = False
+    silent_on_empty_port_type = False
+
+    # -- tool chatter ----------------------------------------------------------
+    warns_on_foreign_extensions = False
+    warns_on_id_attributes = False
+
+    # -- code-generation quirks -----------------------------------------------
+    emits_raw_helper = False
+    dedupes_enum_constants = False
+    throwable_wrapper_bug = False
+    acronym_prefix_bug = False
+    enum_normalization = None  # None | "upper-snake"
+    duplicates_mixed_any_field = False
+    nullable_array_helper_bug = False
+    crash_on_deep_nullable_arrays = False
+
+    def generate(self, document):
+        """Generate client artifacts for a parsed WSDL document."""
+        from repro.frameworks.client.engine import run_generation
+
+        return run_generation(self, document)
+
+    def instantiate(self, bundle):
+        """Instantiation check for platforms without compilation.
+
+        Returns diagnostics; the default flags proxy objects that expose
+        no operations (the Zend/suds behaviour on operation-less WSDLs).
+        """
+        if bundle is None or not bundle.operation_methods:
+            return [
+                warning(
+                    "empty-client",
+                    f"{self.tool}: client object exposes no operations",
+                )
+            ]
+        return []
+
+    def __repr__(self):
+        return f"<ClientFramework {self.name} {self.version} ({self.language})>"

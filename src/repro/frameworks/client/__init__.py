@@ -1,0 +1,25 @@
+"""Client-side framework subsystems (Table II)."""
+
+from repro.frameworks.client.axis import Axis1Client, Axis2Client
+from repro.frameworks.client.dotnet import (
+    DotNetCSharpClient,
+    DotNetJScriptClient,
+    DotNetVisualBasicClient,
+)
+from repro.frameworks.client.dynamic import SudsClient, ZendClient
+from repro.frameworks.client.gsoap import GSoapClient
+from repro.frameworks.client.jaxb import CxfClient, JBossWsClient, MetroClient
+
+__all__ = [
+    "Axis1Client",
+    "Axis2Client",
+    "CxfClient",
+    "DotNetCSharpClient",
+    "DotNetJScriptClient",
+    "DotNetVisualBasicClient",
+    "GSoapClient",
+    "JBossWsClient",
+    "MetroClient",
+    "SudsClient",
+    "ZendClient",
+]

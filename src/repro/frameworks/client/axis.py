@@ -1,0 +1,65 @@
+"""Apache Axis 1.4 and Axis2 1.6.2 ``wsdl2java`` models.
+
+Axis1 "appears to be among the less interoperable client generation
+tools, probably due to the lack of recent updates" (§IV.A): its fault
+wrapper template names the detail attribute wrongly for Throwable-shaped
+types (the 477 + 412 compilation failures of §IV.B.3), and its compile
+wrapper script runs javac over whatever output exists, warning about
+unchecked operations every single time.
+
+Axis2 tolerates dangling references (its schema compiler maps them to
+``anyType``) but has two codegen bugs of its own: the ``local_`` naming
+convention loses the suffix for acronym-prefixed type names
+(``XMLGregorianCalendar``), and mixed wildcard content declares the
+``extraElement`` field twice (the DataTable duplicates).  Its enum
+normalization collapses constants that differ only in case.
+"""
+
+from __future__ import annotations
+
+from repro.compilers import JavaCompiler
+from repro.frameworks.base import ClientFramework
+
+_JAVAC = JavaCompiler()
+
+
+class Axis1Client(ClientFramework):
+    """Apache Axis 1.4 ``wsdl2java`` + compile wrapper script."""
+
+    name = "Apache Axis1"
+    version = "1.4"
+    tool = "wsdl2java"
+    language = "Java"
+    lang_key = "java"
+    compiler = _JAVAC
+    compiles_partial_output = True
+
+    resolves_imports = True
+    strict_element_refs = True
+    tolerates_xsd_namespace_refs = True
+    rejects_lax_wildcards = True
+    silent_on_empty_port_type = True
+
+    emits_raw_helper = True
+    throwable_wrapper_bug = True
+
+
+class Axis2Client(ClientFramework):
+    """Apache Axis2 1.6.2 ``wsdl2java`` + generated ant task."""
+
+    name = "Apache Axis2"
+    version = "1.6.2"
+    tool = "wsdl2java"
+    language = "Java"
+    lang_key = "java"
+    compiler = _JAVAC
+    compiles_partial_output = True
+
+    resolves_imports = True
+    strict_element_refs = False
+    requires_operations = True
+
+    emits_raw_helper = True
+    acronym_prefix_bug = True
+    enum_normalization = "upper-snake"
+    duplicates_mixed_any_field = True

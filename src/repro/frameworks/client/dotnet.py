@@ -1,0 +1,68 @@
+""".NET Framework ``wsdl.exe`` models for C#, VB.NET and JScript .NET.
+
+One physical tool, three language backends — and three very different
+behaviours (§IV.A):
+
+* C# is clean: no compile errors anywhere in the study.
+* VB.NET inherits the language's case-insensitivity, so generated members
+  that differ only in case collide (the WebControls failures — even
+  against its own platform).
+* JScript .NET is "one of the most problematic tools": it warns on every
+  Java-platform WSDL, omits helper functions its own deserializers call,
+  and crashes the compiler outright on pathological inputs
+  ("131 INTERNAL COMPILER CRASH").
+
+All three share ``wsdl.exe``'s schema processing: strict about imports,
+references and attribute validity, but with *native* support for the
+``ref="s:schema"`` DataSet idiom its own platform emits.
+"""
+
+from __future__ import annotations
+
+from repro.compilers import CSharpCompiler, JScriptCompiler, VisualBasicCompiler
+from repro.frameworks.base import ClientFramework
+
+
+class _WsdlExeClient(ClientFramework):
+    """Shared ``wsdl.exe`` schema-processing profile."""
+
+    name = "Microsoft WCF .NET Framework"
+    version = "4.0.30319.17929"
+    tool = "wsdl.exe"
+
+    resolves_imports = True
+    strict_element_refs = True
+    supports_schema_in_instance = True
+    validates_attribute_uniqueness = True
+    validates_attribute_types = True
+    requires_operations = True
+    warns_on_id_attributes = True
+    dedupes_enum_constants = True
+
+
+class DotNetCSharpClient(_WsdlExeClient):
+    """``wsdl.exe /language:CS``."""
+
+    language = "C#"
+    lang_key = "csharp"
+    compiler = CSharpCompiler()
+
+
+class DotNetVisualBasicClient(_WsdlExeClient):
+    """``wsdl.exe /language:VB``."""
+
+    language = "VB .NET"
+    lang_key = "vb"
+    compiler = VisualBasicCompiler()
+
+
+class DotNetJScriptClient(_WsdlExeClient):
+    """``wsdl.exe /language:JS``."""
+
+    language = "JScript .NET"
+    lang_key = "jscript"
+    compiler = JScriptCompiler()
+
+    warns_on_foreign_extensions = True
+    nullable_array_helper_bug = True
+    crash_on_deep_nullable_arrays = True

@@ -1,0 +1,47 @@
+"""Dynamic-language clients: Zend Framework (PHP) and suds (Python).
+
+Neither platform compiles artifacts; per Table II note 3 the study checks
+whether the client *object* can be instantiated instead.  On the
+operation-less JBossWS WSDLs both "generated client objects without
+methods", which our models surface as an instantiation warning.
+
+Zend's ``Zend_Soap_Client`` is lazy — it resolves nothing until a call is
+made — so it sails through every pathological schema (producing the
+"uncommon data structure" the paper mentions).  suds parses eagerly: it
+fails on unresolvable imports and dangling references, and its recursive
+resolver blows the stack on the one self-recursive .NET schema.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import ClientFramework
+
+
+class ZendClient(ClientFramework):
+    """Zend Framework 1.9 ``Zend_Soap_Client`` (PHP)."""
+
+    name = "Zend Framework"
+    version = "1.9"
+    tool = "Zend_Soap_Client"
+    language = "PHP"
+    lang_key = "php"
+    requires_compilation = False
+
+    resolves_imports = False
+    strict_element_refs = False
+
+
+class SudsClient(ClientFramework):
+    """suds 0.4 Python client."""
+
+    name = "suds Python"
+    version = "0.4"
+    tool = "suds.client.Client"
+    language = "Python"
+    lang_key = "python"
+    requires_compilation = False
+
+    resolves_imports = True
+    strict_element_refs = True
+    tolerates_xsd_namespace_refs = True
+    fails_on_recursive_refs = True

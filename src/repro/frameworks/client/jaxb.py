@@ -1,0 +1,55 @@
+"""The JAXB-family Java client tools: Metro, Apache CXF, JBossWS.
+
+The paper finds these generators "quite mature": they fail almost only on
+non-WS-I-compliant WSDLs, always at generation time, and never emit code
+that later fails to compile (§IV.A).  The three differ in one observable
+behaviour: Metro's ``wsimport`` refuses operation-less WSDLs, while CXF's
+``wsdl2java`` and JBossWS's ``wsconsume`` silently generate empty clients
+(§IV.B.1/2).
+"""
+
+from __future__ import annotations
+
+from repro.compilers import JavaCompiler
+from repro.frameworks.base import ClientFramework
+
+_JAVAC = JavaCompiler()
+
+
+class _JaxbClient(ClientFramework):
+    """Shared strictness profile of the JAXB-based generators."""
+
+    language = "Java"
+    lang_key = "java"
+    compiler = _JAVAC
+
+    resolves_imports = True
+    strict_element_refs = True
+    rejects_lax_wildcards = True
+
+
+class MetroClient(_JaxbClient):
+    """Oracle Metro 2.3 ``wsimport``."""
+
+    name = "Oracle Metro"
+    version = "2.3"
+    tool = "wsimport"
+    requires_operations = True
+
+
+class CxfClient(_JaxbClient):
+    """Apache CXF 2.7.6 ``wsdl2java`` — silent on empty portTypes."""
+
+    name = "Apache CXF"
+    version = "2.7.6"
+    tool = "wsdl2java"
+    silent_on_empty_port_type = True
+
+
+class JBossWsClient(_JaxbClient):
+    """JBossWS CXF 4.2.3 ``wsconsume`` — silent on empty portTypes."""
+
+    name = "JBossWS CXF"
+    version = "4.2.3"
+    tool = "wsconsume"
+    silent_on_empty_port_type = True

@@ -1,0 +1,96 @@
+"""Registries of the studied frameworks (Tables I and II)."""
+
+from __future__ import annotations
+
+from repro.frameworks.client import (
+    Axis1Client,
+    Axis2Client,
+    CxfClient,
+    DotNetCSharpClient,
+    DotNetJScriptClient,
+    DotNetVisualBasicClient,
+    GSoapClient,
+    JBossWsClient,
+    MetroClient,
+    SudsClient,
+    ZendClient,
+)
+from repro.frameworks.server import JBossWsCxfServer, MetroServer, WcfNetServer
+
+#: Stable identifiers used throughout results, reports and the CLI.
+SERVER_IDS = ("metro", "jbossws", "wcf")
+CLIENT_IDS = (
+    "metro",
+    "axis1",
+    "axis2",
+    "cxf",
+    "jbossws",
+    "dotnet-cs",
+    "dotnet-vb",
+    "dotnet-js",
+    "gsoap",
+    "zend",
+    "suds",
+)
+
+_SERVER_CLASSES = {
+    "metro": MetroServer,
+    "jbossws": JBossWsCxfServer,
+    "wcf": WcfNetServer,
+}
+
+_CLIENT_CLASSES = {
+    "metro": MetroClient,
+    "axis1": Axis1Client,
+    "axis2": Axis2Client,
+    "cxf": CxfClient,
+    "jbossws": JBossWsClient,
+    "dotnet-cs": DotNetCSharpClient,
+    "dotnet-vb": DotNetVisualBasicClient,
+    "dotnet-js": DotNetJScriptClient,
+    "gsoap": GSoapClient,
+    "zend": ZendClient,
+    "suds": SudsClient,
+}
+
+#: Which client id is the client-side subsystem of which server id —
+#: used for the paper's "same framework" analysis (§V: 307 cases).
+SAME_FRAMEWORK = {
+    "metro": "metro",
+    "jbossws": "jbossws",
+    "wcf": ("dotnet-cs", "dotnet-vb", "dotnet-js"),
+}
+
+
+def server_framework(server_id):
+    """Instantiate the server framework with id ``server_id``."""
+    try:
+        return _SERVER_CLASSES[server_id]()
+    except KeyError:
+        raise KeyError(f"unknown server framework id {server_id!r}") from None
+
+
+def client_framework(client_id):
+    """Instantiate the client framework with id ``client_id``."""
+    try:
+        return _CLIENT_CLASSES[client_id]()
+    except KeyError:
+        raise KeyError(f"unknown client framework id {client_id!r}") from None
+
+
+def all_server_frameworks():
+    """All three server subsystems, in Table I order: id → instance."""
+    return {server_id: server_framework(server_id) for server_id in SERVER_IDS}
+
+
+def all_client_frameworks():
+    """All eleven client subsystems, in Table II order: id → instance."""
+    return {client_id: client_framework(client_id) for client_id in CLIENT_IDS}
+
+
+def is_same_framework(server_id, client_id):
+    """True if the client subsystem belongs to the server's framework."""
+    owner = SAME_FRAMEWORK.get(server_id, ())
+    if isinstance(owner, str):
+        return client_id == owner
+    return client_id in owner

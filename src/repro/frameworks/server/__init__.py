@@ -1,0 +1,7 @@
+"""Server-side framework subsystems (Table I)."""
+
+from repro.frameworks.server.metro import MetroServer
+from repro.frameworks.server.jbossws import JBossWsCxfServer
+from repro.frameworks.server.wcf import WcfNetServer
+
+__all__ = ["JBossWsCxfServer", "MetroServer", "WcfNetServer"]

@@ -1,0 +1,205 @@
+"""Shared document/literal-wrapped WSDL emission for server frameworks."""
+
+from __future__ import annotations
+
+from repro.typesystem.model import TypeKind
+from repro.wsdl.model import SoapOperation, WsdlDocument, WsdlMessage
+from repro.xmlcore import QName, XSD_NS
+from repro.xsd.builtins import xsd_name_for
+from repro.xsd.model import (
+    ComplexType,
+    ElementDecl,
+    ElementParticle,
+    Schema,
+    SimpleTypeDecl,
+)
+
+
+def emit_default_parameter_type(type_info, schema):
+    """Describe ``type_info`` in ``schema`` the vanilla JAXB/WCF way.
+
+    Enums become named simple types with enumeration facets; everything
+    else becomes a named complex type whose sequence mirrors the bean
+    properties.  Returns the QName clients use to reference the type.
+    """
+    tns = schema.target_namespace
+    if type_info.kind is TypeKind.ENUM:
+        schema.simple_types.append(
+            SimpleTypeDecl(
+                name=type_info.name,
+                base=QName(XSD_NS, "string"),
+                enumerations=type_info.enum_values,
+            )
+        )
+        return QName(tns, type_info.name)
+    schema.complex_types.append(
+        ComplexType(name=type_info.name, particles=properties_to_particles(type_info))
+    )
+    return QName(tns, type_info.name)
+
+
+def properties_to_particles(type_info):
+    """Map bean properties to schema element particles."""
+    particles = []
+    for prop in type_info.properties:
+        particles.append(
+            ElementParticle(
+                name=prop.name,
+                type_name=xsd_name_for(prop.value_type),
+                min_occurs=0 if prop.is_array else 1,
+                max_occurs=None if prop.is_array else 1,
+                nillable=prop.nillable_value,
+            )
+        )
+    return particles
+
+
+def build_echo_wsdl(
+    service,
+    endpoint_url,
+    schema_prefix="xsd",
+    extension_markers=(),
+    type_emitter=emit_default_parameter_type,
+):
+    """Build the standard echo-service WSDL document.
+
+    ``type_emitter`` is the hook where server frameworks inject their
+    type-description quirks; it must add declarations to the schema and
+    return the QName for the parameter type.
+    """
+    type_info = service.parameter_type
+    tns = service.target_namespace
+    operation = service.operation_name
+
+    schema = Schema(target_namespace=tns)
+    type_ref = type_emitter(type_info, schema)
+
+    schema.elements.append(
+        ElementDecl(
+            name=operation,
+            inline_type=ComplexType(
+                particles=[ElementParticle(name="input", type_name=type_ref)]
+            ),
+        )
+    )
+    schema.elements.append(
+        ElementDecl(
+            name=f"{operation}Response",
+            inline_type=ComplexType(
+                particles=[ElementParticle(name="return", type_name=type_ref)]
+            ),
+        )
+    )
+
+    return WsdlDocument(
+        name=service.name,
+        target_namespace=tns,
+        schemas=[schema],
+        messages=[
+            WsdlMessage(operation, "parameters", QName(tns, operation)),
+            WsdlMessage(
+                f"{operation}Response",
+                "parameters",
+                QName(tns, f"{operation}Response"),
+            ),
+        ],
+        operations=[
+            SoapOperation(
+                name=operation,
+                input_message=operation,
+                output_message=f"{operation}Response",
+                soap_action=f"{tns}/{operation}",
+            )
+        ],
+        service_name=service.name,
+        port_name=f"{service.name}Port",
+        endpoint_url=endpoint_url,
+        extension_markers=tuple(extension_markers),
+        schema_prefix=schema_prefix,
+    )
+
+
+def build_composite_wsdl(
+    service,
+    endpoint_url,
+    schema_prefix="xsd",
+    extension_markers=(),
+    type_emitter=emit_default_parameter_type,
+):
+    """Build a multi-operation WSDL for a composite service.
+
+    One wrapper pair, message pair and portType operation per member
+    type; all member types share one schema, each emitted through the
+    framework's ``type_emitter`` (so per-type quirks still apply).
+    """
+    tns = service.target_namespace
+    schema = Schema(target_namespace=tns)
+    messages = []
+    operations = []
+    for type_info in service.parameter_types:
+        type_ref = type_emitter(type_info, schema)
+        operation = f"echo{type_info.name}"
+        schema.elements.append(
+            ElementDecl(
+                name=operation,
+                inline_type=ComplexType(
+                    particles=[ElementParticle(name="input", type_name=type_ref)]
+                ),
+            )
+        )
+        schema.elements.append(
+            ElementDecl(
+                name=f"{operation}Response",
+                inline_type=ComplexType(
+                    particles=[ElementParticle(name="return", type_name=type_ref)]
+                ),
+            )
+        )
+        messages.append(WsdlMessage(operation, "parameters", QName(tns, operation)))
+        messages.append(
+            WsdlMessage(
+                f"{operation}Response",
+                "parameters",
+                QName(tns, f"{operation}Response"),
+            )
+        )
+        operations.append(
+            SoapOperation(
+                name=operation,
+                input_message=operation,
+                output_message=f"{operation}Response",
+                soap_action=f"{tns}/{operation}",
+            )
+        )
+    return WsdlDocument(
+        name=service.name,
+        target_namespace=tns,
+        schemas=[schema],
+        messages=messages,
+        operations=operations,
+        service_name=service.name,
+        port_name=f"{service.name}Port",
+        endpoint_url=endpoint_url,
+        extension_markers=tuple(extension_markers),
+        schema_prefix=schema_prefix,
+    )
+
+
+def build_empty_wsdl(service, endpoint_url, extension_markers=()):
+    """A WSDL with a portType that declares no operations.
+
+    This is the JBossWS behaviour on the async-handle types: the schema
+    permits zero ``operation`` elements (the paper argues it should not),
+    so the document deploys and passes WS-I with only an advisory.
+    """
+    return WsdlDocument(
+        name=service.name,
+        target_namespace=service.target_namespace,
+        schemas=[Schema(target_namespace=service.target_namespace)],
+        messages=[],
+        operations=[],
+        service_name=service.name,
+        port_name=f"{service.name}Port",
+        endpoint_url=endpoint_url,
+        extension_markers=tuple(extension_markers),
+    )

@@ -1,0 +1,35 @@
+"""Rendering of campaign results in the paper's shapes.
+
+ASCII renderers for Tables I–III and Fig. 4, paper-vs-measured
+comparison rows, and CSV/JSON export for downstream analysis.
+"""
+
+from repro.reporting.compare import comparison_rows, fig4_comparison, table3_comparison
+from repro.reporting.experiments import render_experiments_markdown
+from repro.reporting.export import result_to_json, table3_to_csv
+from repro.reporting.figures import render_fig4
+from repro.reporting.html import render_html_report
+from repro.reporting.latex import render_fig4_latex, render_table3_latex
+from repro.reporting.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "comparison_rows",
+    "fig4_comparison",
+    "render_experiments_markdown",
+    "render_fig4",
+    "render_fig4_latex",
+    "render_html_report",
+    "render_table",
+    "render_table3_latex",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "result_to_json",
+    "table3_comparison",
+    "table3_to_csv",
+]

@@ -1,0 +1,87 @@
+"""Paper-vs-measured comparison helpers (used by EXPERIMENTS.md and benches)."""
+
+from __future__ import annotations
+
+from repro.core.analysis import headline_numbers
+from repro.data.paper_results import PAPER_FIG4, PAPER_HEADLINES, PAPER_TABLE3
+
+
+def table3_comparison(result):
+    """Rows ``(server, client, metric, paper, measured, match)``."""
+    metrics = ("gen_warnings", "gen_errors", "comp_warnings", "comp_errors")
+    rows = []
+    for server_id, clients in PAPER_TABLE3.items():
+        if server_id not in result.servers:
+            continue
+        for client_id, expected in clients.items():
+            cell = result.cell(server_id, client_id)
+            measured = cell.as_row()
+            for metric, paper_value, measured_value in zip(
+                metrics, expected, measured
+            ):
+                paper_value = 0 if paper_value is None else paper_value
+                rows.append(
+                    (
+                        server_id,
+                        client_id,
+                        metric,
+                        paper_value,
+                        measured_value,
+                        paper_value == measured_value,
+                    )
+                )
+    return rows
+
+
+def fig4_comparison(result):
+    """Rows ``(server, metric, paper, measured, match)``."""
+    rows = []
+    for server_id, expected in PAPER_FIG4.items():
+        if server_id not in result.servers:
+            continue
+        measured = result.fig4_series(server_id)
+        for metric, paper_value in expected.items():
+            rows.append(
+                (
+                    server_id,
+                    metric,
+                    paper_value,
+                    measured[metric],
+                    paper_value == measured[metric],
+                )
+            )
+    return rows
+
+
+_HEADLINE_KEYS = (
+    ("services_created", "services_created"),
+    ("services_deployed", "services_deployed"),
+    ("services_refused", "services_refused"),
+    ("tests", "tests"),
+    ("sdg_warnings", "sdg_warnings"),
+    ("comp_warning_tests", "comp_warning_tests"),
+    ("comp_error_tests", "comp_error_tests"),
+    ("error_situations", "error_situations"),
+    ("same_framework_error_tests", "same_framework_error_tests"),
+    ("wsi_error_free_services", "wsi_error_free_services"),
+)
+
+
+def comparison_rows(result):
+    """Headline rows ``(metric, paper, measured, match)``."""
+    measured = headline_numbers(result)
+    rows = []
+    for paper_key, measured_key in _HEADLINE_KEYS:
+        paper_value = PAPER_HEADLINES[paper_key]
+        measured_value = measured[measured_key]
+        rows.append((paper_key, paper_value, measured_value, paper_value == measured_value))
+    rows.append(
+        (
+            "wsi_predictive_ratio",
+            PAPER_HEADLINES["wsi_predictive_ratio"],
+            round(measured["wsi_predictive_ratio"], 3),
+            abs(measured["wsi_predictive_ratio"] - PAPER_HEADLINES["wsi_predictive_ratio"])
+            < 0.005,
+        )
+    )
+    return rows

@@ -1,0 +1,70 @@
+"""CSV/JSON export of campaign results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.core.analysis import headline_numbers
+
+
+def table3_to_csv(result):
+    """Render the per-combination cells as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        (
+            "server",
+            "client",
+            "tests",
+            "gen_warning_tests",
+            "gen_error_tests",
+            "comp_warning_tests",
+            "comp_error_tests",
+        )
+    )
+    for server_id in result.server_ids:
+        for client_id in result.client_ids:
+            cell = result.cell(server_id, client_id)
+            writer.writerow(
+                (
+                    server_id,
+                    client_id,
+                    cell.tests,
+                    cell.gen_warning_tests,
+                    cell.gen_error_tests,
+                    cell.comp_warning_tests,
+                    cell.comp_error_tests,
+                )
+            )
+    return buffer.getvalue()
+
+
+def result_to_json(result, indent=2):
+    """Serialize the aggregate view of a result to JSON text."""
+    payload = {
+        "headlines": {
+            key: (round(value, 4) if isinstance(value, float) else value)
+            for key, value in headline_numbers(result).items()
+        },
+        "servers": {
+            server_id: {
+                "name": report.server_name,
+                "services_total": report.services_total,
+                "deployed": report.deployed,
+                "refused": report.refused,
+                "sdg_warnings": report.sdg_warnings,
+                "wsi_failing": sorted(report.wsi_failing),
+                "wsi_advisory_only": sorted(report.wsi_advisory_only),
+                "fig4": result.fig4_series(server_id),
+            }
+            for server_id, report in result.servers.items()
+        },
+        "cells": {
+            f"{server_id}/{client_id}": result.cell(server_id, client_id).as_row()
+            for server_id in result.server_ids
+            for client_id in result.client_ids
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

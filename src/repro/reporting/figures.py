@@ -1,0 +1,40 @@
+"""Fig. 4 rendering: per-server overview of warnings and errors."""
+
+from __future__ import annotations
+
+_SERIES = (
+    ("sdg_warnings", "Service Description Generation Warnings"),
+    ("sdg_errors", "Service Description Generation Errors"),
+    ("gen_warnings", "Client Artifacts Generation Warnings"),
+    ("gen_errors", "Client Artifacts Generation Errors"),
+    ("comp_warnings", "Client Artifacts Compilation Warnings"),
+    ("comp_errors", "Client Artifacts Compilation Errors"),
+)
+
+_BAR_WIDTH = 40
+
+
+def render_fig4(result, server_names=None):
+    """Render the Fig. 4 overview as text bars."""
+    server_names = server_names or {
+        "metro": "Metro",
+        "jbossws": "JBossWS CXF",
+        "wcf": "WCF .NET",
+    }
+    series = {
+        server_id: result.fig4_series(server_id) for server_id in result.server_ids
+    }
+    peak = max(
+        (value for values in series.values() for value in values.values()),
+        default=1,
+    ) or 1
+
+    lines = ["Fig. 4 — Overview of the experimental results", ""]
+    for server_id in result.server_ids:
+        lines.append(f"{server_names.get(server_id, server_id)}:")
+        for key, label in _SERIES:
+            value = series[server_id][key]
+            bar = "#" * max(1 if value else 0, round(value / peak * _BAR_WIDTH))
+            lines.append(f"  {label:<46} {value:>6} {bar}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

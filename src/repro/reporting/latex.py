@@ -1,0 +1,96 @@
+"""LaTeX rendering of the paper's tables (for write-ups).
+
+Produces ``tabular`` environments comparable to the originals so a
+reproduction report can drop measured numbers straight into a paper.
+"""
+
+from __future__ import annotations
+
+_SERVER_LABELS = {
+    "metro": "Metro",
+    "jbossws": "JBossWS CXF",
+    "wcf": "WCF .NET",
+}
+
+
+def _escape(text):
+    replacements = {
+        "&": r"\&", "%": r"\%", "#": r"\#", "_": r"\_",
+        "{": r"\{", "}": r"\}",
+    }
+    return "".join(replacements.get(ch, ch) for ch in str(text))
+
+
+def render_table3_latex(result, caption="Detailed experimental results"):
+    """Render Table III as a LaTeX tabular."""
+    lines = [
+        r"\begin{table*}[t]",
+        r"  \centering",
+        rf"  \caption{{{_escape(caption)}}}",
+        r"  \label{tab:results}",
+        r"  \begin{tabular}{l" + "rrrr" * len(result.server_ids) + "}",
+        r"    \toprule",
+    ]
+    headers = ["    Client-side FW"]
+    for server_id in result.server_ids:
+        headers.append(
+            rf"\multicolumn{{4}}{{c}}{{{_escape(_SERVER_LABELS.get(server_id, server_id))}}}"
+        )
+    lines.append(" & ".join(headers) + r" \\")
+    sub = ["   "] + [r"GW & GE & CW & CE"] * len(result.server_ids)
+    lines.append(" & ".join(sub) + r" \\")
+    lines.append(r"    \midrule")
+    for client_id in result.client_ids:
+        cells = [f"    {_escape(client_id)}"]
+        for server_id in result.server_ids:
+            row = result.cell(server_id, client_id).as_row()
+            cells.append(" & ".join(str(value) for value in row))
+        lines.append(" & ".join(cells) + r" \\")
+    lines.extend(
+        [
+            r"    \bottomrule",
+            r"  \end{tabular}",
+            r"\end{table*}",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def render_fig4_latex(result, caption="Overview of the experimental results"):
+    """Render the Fig. 4 series as a LaTeX tabular (bar data)."""
+    metrics = (
+        ("sdg_warnings", "Service description warnings"),
+        ("gen_warnings", "Artifact generation warnings"),
+        ("gen_errors", "Artifact generation errors"),
+        ("comp_warnings", "Artifact compilation warnings"),
+        ("comp_errors", "Artifact compilation errors"),
+    )
+    lines = [
+        r"\begin{table}[t]",
+        r"  \centering",
+        rf"  \caption{{{_escape(caption)}}}",
+        r"  \label{tab:overview}",
+        r"  \begin{tabular}{l" + "r" * len(result.server_ids) + "}",
+        r"    \toprule",
+        "    Step & "
+        + " & ".join(
+            _escape(_SERVER_LABELS.get(server_id, server_id))
+            for server_id in result.server_ids
+        )
+        + r" \\",
+        r"    \midrule",
+    ]
+    series = {
+        server_id: result.fig4_series(server_id) for server_id in result.server_ids
+    }
+    for key, label in metrics:
+        values = " & ".join(str(series[s][key]) for s in result.server_ids)
+        lines.append(f"    {_escape(label)} & {values} " + r"\\")
+    lines.extend(
+        [
+            r"    \bottomrule",
+            r"  \end{tabular}",
+            r"\end{table}",
+        ]
+    )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.data.paper_results import PAPER_TABLE1, PAPER_TABLE2
+
+
+def render_table(headers, rows, title=None):
+    """Render a simple monospace table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def render_row(cells):
+        return " | ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def render_table1():
+    """Table I: the server platforms."""
+    return render_table(
+        ("Server", "Framework", "Language"),
+        PAPER_TABLE1,
+        title="Table I — Server platforms",
+    )
+
+
+def render_table2():
+    """Table II: the client-side frameworks."""
+    rows = [
+        (framework, tool, language, "Yes" if compiles else "N/A")
+        for framework, tool, language, compiles in PAPER_TABLE2
+    ]
+    return render_table(
+        ("Framework", "Tool", "Language", "Compilation"),
+        rows,
+        title="Table II — Client-side frameworks",
+    )
+
+
+def render_table3(result, server_names=None):
+    """Table III: detailed per-combination results of a campaign run."""
+    server_names = server_names or {
+        "metro": "Metro",
+        "jbossws": "JBossWS CXF",
+        "wcf": "WCF .NET",
+    }
+    sections = []
+    for server_id in result.server_ids:
+        report = result.servers[server_id]
+        rows = []
+        for client_id in result.client_ids:
+            cell = result.cell(server_id, client_id)
+            rows.append(
+                (
+                    client_id,
+                    cell.gen_warning_tests,
+                    cell.gen_error_tests,
+                    cell.comp_warning_tests,
+                    cell.comp_error_tests,
+                )
+            )
+        title = (
+            f"{server_names.get(server_id, server_id)} — "
+            f"{report.sdg_warnings} WS-I warnings out of {report.deployed} services"
+        )
+        sections.append(
+            render_table(
+                ("Client-side FW", "GenWarn", "GenErr", "CompWarn", "CompErr"),
+                rows,
+                title=title,
+            )
+        )
+    return "\n\n".join(sections)

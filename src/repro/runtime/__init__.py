@@ -1,0 +1,28 @@
+"""Communication and Execution steps — the paper's announced future work.
+
+§V: "In future work we intend to test WS frameworks during the
+communication and execution phase to test the whole inter-operation
+lifecycle."  This package implements that extension over the simulated
+stack: an in-memory HTTP transport, a server-side SOAP dispatcher that
+executes the echo operation, and a dynamic client proxy driven by the
+generated artifacts.
+"""
+
+from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
+from repro.runtime.lifecycle import LifecycleOutcome, run_full_lifecycle
+from repro.runtime.recorder import Exchange, TransportRecorder, check_exchange
+from repro.runtime.server import EchoServiceEndpoint
+from repro.runtime.transport import HttpResponse, InMemoryHttpTransport
+
+__all__ = [
+    "ClientInvocationError",
+    "EchoServiceEndpoint",
+    "Exchange",
+    "GeneratedClientProxy",
+    "HttpResponse",
+    "InMemoryHttpTransport",
+    "LifecycleOutcome",
+    "TransportRecorder",
+    "check_exchange",
+    "run_full_lifecycle",
+]

@@ -1,0 +1,135 @@
+"""Full five-step lifecycle execution (Fig. 1 steps 1–5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.outcomes import StepStatus
+from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
+from repro.runtime.server import EchoServiceEndpoint
+from repro.runtime.transport import InMemoryHttpTransport
+from repro.wsdl import read_wsdl_text
+
+
+@dataclass
+class LifecycleOutcome:
+    """Classified outcome of one full lifecycle run."""
+
+    service_name: str
+    client_id: str
+    generation: StepStatus
+    compilation: StepStatus
+    communication: StepStatus
+    execution: StepStatus
+    detail: str = ""
+
+    @property
+    def reached_execution(self):
+        return self.execution in (StepStatus.OK, StepStatus.WARNING)
+
+
+def run_full_lifecycle(deployment_record, client, client_id="", transport=None, values=None):
+    """Run steps 2–5 for one deployed service and one client framework.
+
+    Step 1 (Service Description Generation) already happened when the
+    record was produced.  Steps with errors suppress the later ones,
+    matching the campaign's gating semantics.
+    """
+    transport = transport or InMemoryHttpTransport()
+    document = read_wsdl_text(deployment_record.wsdl_text)
+    service_name = document.name
+
+    generation = client.generate(document)
+    if not generation.succeeded:
+        return LifecycleOutcome(
+            service_name, client_id,
+            generation=StepStatus.ERROR,
+            compilation=StepStatus.SKIPPED,
+            communication=StepStatus.SKIPPED,
+            execution=StepStatus.SKIPPED,
+            detail="; ".join(str(d) for d in generation.errors[:3]),
+        )
+    generation_status = (
+        StepStatus.WARNING if generation.warnings else StepStatus.OK
+    )
+
+    compilation_status = StepStatus.NOT_APPLICABLE
+    if client.requires_compilation:
+        compilation = client.compiler.compile(generation.bundle)
+        if not compilation.succeeded:
+            return LifecycleOutcome(
+                service_name, client_id,
+                generation=generation_status,
+                compilation=StepStatus.ERROR,
+                communication=StepStatus.SKIPPED,
+                execution=StepStatus.SKIPPED,
+                detail="; ".join(str(d) for d in compilation.errors[:3]),
+            )
+        compilation_status = (
+            StepStatus.WARNING if compilation.warnings else StepStatus.OK
+        )
+
+    endpoint = EchoServiceEndpoint(deployment_record)
+    endpoint.mount(transport)
+    proxy = GeneratedClientProxy(generation.bundle, document, transport)
+    if not document.operations or not proxy.operations:
+        return LifecycleOutcome(
+            service_name, client_id,
+            generation=generation_status,
+            compilation=compilation_status,
+            communication=StepStatus.ERROR,
+            execution=StepStatus.SKIPPED,
+            detail="generated client exposes no operations",
+        )
+
+    operation = document.operations[0].name
+    payload = values
+    if payload is None:
+        payload = _sample_values(deployment_record.service.parameter_type)
+    try:
+        result = proxy.invoke(operation, payload)
+    except ClientInvocationError as exc:
+        return LifecycleOutcome(
+            service_name, client_id,
+            generation=generation_status,
+            compilation=compilation_status,
+            communication=StepStatus.ERROR,
+            execution=StepStatus.SKIPPED,
+            detail=str(exc),
+        )
+
+    execution_status = StepStatus.OK if result == payload else StepStatus.ERROR
+    detail = "" if execution_status is StepStatus.OK else "echo mismatch"
+    return LifecycleOutcome(
+        service_name, client_id,
+        generation=generation_status,
+        compilation=compilation_status,
+        communication=StepStatus.OK,
+        execution=execution_status,
+        detail=detail,
+    )
+
+
+_SAMPLE_BY_XSD = {
+    "string": "sample",
+    "boolean": "true",
+    "dateTime": "2014-06-22T10:30:00Z",
+    "anyURI": "urn:example:sample",
+    "QName": "tns:sample",
+    "base64Binary": "c2FtcGxl",
+    "duration": "PT5M",
+}
+
+
+def _sample_values(type_info):
+    """Build an echoable property dict for ``type_info``."""
+    from repro.xsd.builtins import xsd_name_for
+
+    values = {}
+    for prop in type_info.properties:
+        xsd_local = xsd_name_for(prop.value_type).local
+        value = _SAMPLE_BY_XSD.get(xsd_local, "7")
+        values[prop.name] = [value, value] if prop.is_array else value
+    if not values:
+        values["state"] = "Ready"
+    return values

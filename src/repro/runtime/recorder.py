@@ -1,0 +1,93 @@
+"""Recording transport wrapper: capture the SOAP messages on the wire.
+
+Wraps any transport and keeps (url, request, response) exchanges — the
+observability layer a real testbed gets from a network sniffer.  The
+related-work section of the paper cites exactly such sniffer-based
+conformance checking (Ramsokul & Sowmya); :func:`check_exchange` offers
+a tiny message-conformance check in that spirit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soap.envelope import parse_envelope
+
+
+@dataclass
+class Exchange:
+    """One request/response pair seen on the wire."""
+
+    url: str
+    request_body: str
+    response_status: int
+    response_body: str
+
+    @property
+    def ok(self):
+        return 200 <= self.response_status < 300
+
+
+@dataclass
+class TransportRecorder:
+    """Wraps a transport; records every exchange."""
+
+    inner: object
+    exchanges: list = field(default_factory=list)
+
+    def register(self, url, handler):
+        return self.inner.register(url, handler)
+
+    def unregister(self, url):
+        return self.inner.unregister(url)
+
+    def post(self, url, body, headers=None):
+        response = self.inner.post(url, body, headers)
+        self.exchanges.append(
+            Exchange(
+                url=url,
+                request_body=body,
+                response_status=response.status,
+                response_body=response.body,
+            )
+        )
+        return response
+
+    @property
+    def requests_sent(self):
+        return getattr(self.inner, "requests_sent", len(self.exchanges))
+
+
+def check_exchange(exchange):
+    """Sniffer-style conformance check of one recorded exchange.
+
+    Returns a list of problem strings (empty = conformant): both bodies
+    must be well-formed SOAP 1.1 envelopes, a non-fault response must
+    answer the request's wrapper with the matching ``*Response`` element.
+    """
+    problems = []
+    try:
+        request = parse_envelope(exchange.request_body)
+    except Exception as exc:
+        return [f"request is not a SOAP envelope: {exc}"]
+    try:
+        response = parse_envelope(exchange.response_body)
+    except Exception as exc:
+        return [f"response is not a SOAP envelope: {exc}"]
+
+    if request.body is None:
+        problems.append("request has an empty SOAP body")
+    if response.is_fault:
+        return problems  # a fault is a conformant answer to anything
+    if response.body is None:
+        problems.append("non-fault response has an empty SOAP body")
+    elif request.body is not None:
+        expected = f"{request.body.name.local}Response"
+        if response.body.name.local != expected:
+            problems.append(
+                f"response element {response.body.name.local!r} does not match "
+                f"request wrapper (expected {expected!r})"
+            )
+        if response.body.name.namespace != request.body.name.namespace:
+            problems.append("response wrapper namespace differs from request")
+    return problems

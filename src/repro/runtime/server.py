@@ -1,0 +1,91 @@
+"""Server-side SOAP dispatcher executing the echo operation."""
+
+from __future__ import annotations
+
+from repro.runtime.transport import HttpResponse
+from repro.soap.envelope import SoapFault, parse_envelope, serialize_envelope
+from repro.xmlcore import Element, QName
+
+
+class EchoServiceEndpoint:
+    """Executes the single echo operation of a deployed service.
+
+    Attach it to a transport with :meth:`mount`.  Requests whose body
+    does not match the service's request wrapper produce a SOAP Fault —
+    the Execution-step failure mode.
+    """
+
+    def __init__(self, deployment_record):
+        if not deployment_record.accepted:
+            raise ValueError("cannot serve a refused deployment")
+        self.record = deployment_record
+        self.document = deployment_record.wsdl
+        self.invocations = 0
+
+    def mount(self, transport):
+        """Register this endpoint on ``transport``; returns the URL."""
+        return transport.register(self.record.endpoint_url, self.handle)
+
+    # -- request handling -----------------------------------------------------
+
+    def handle(self, body, headers):
+        """Process one SOAP request; returns an :class:`HttpResponse`."""
+        try:
+            envelope = parse_envelope(body)
+        except Exception as exc:  # malformed XML from a broken client
+            return self._fault("soapenv:Client", f"malformed request: {exc}", 400)
+        if envelope.body is None:
+            return self._fault("soapenv:Client", "empty SOAP body", 400)
+
+        # SOAP 1.1 §4.2.3: a header targeted at us with
+        # mustUnderstand="1" that we do not understand MUST fault.  The
+        # echo dispatcher understands no header extensions at all.
+        from repro.xmlcore import SOAP_ENV_NS
+
+        for header in envelope.headers:
+            if header.get(QName(SOAP_ENV_NS, "mustUnderstand")) == "1":
+                return self._fault(
+                    "soapenv:MustUnderstand",
+                    f"header {header.name.text()} not understood",
+                    500,
+                )
+
+        operation = self._find_operation(envelope.body.name)
+        if operation is None:
+            return self._fault(
+                "soapenv:Client",
+                f"no operation accepts element {envelope.body.name.text()}",
+                500,
+            )
+
+        self.invocations += 1
+        response_wrapper = self._echo(envelope.body, operation)
+        return HttpResponse(
+            status=200, body=serialize_envelope(body_element=response_wrapper)
+        )
+
+    def _find_operation(self, body_name):
+        for operation in self.document.operations:
+            message = self.document.message(operation.input_message)
+            if message is not None and message.element == body_name:
+                return operation
+        return None
+
+    def _echo(self, request_wrapper, operation):
+        """Execute the echo: copy the input subtree to the return slot."""
+        tns = self.document.target_namespace
+        response = Element(QName(tns, f"{operation.name}Response"), prefix_hint="tns")
+        return_el = response.add_child(
+            Element(QName(tns, "return"), prefix_hint="tns")
+        )
+        input_el = request_wrapper.find(QName(tns, "input"))
+        if input_el is not None:
+            return_el.content = list(input_el.content)
+            return_el.attributes.update(input_el.attributes)
+        return response
+
+    def _fault(self, code, message, status):
+        return HttpResponse(
+            status=status,
+            body=serialize_envelope(fault=SoapFault(code=code, string=message)),
+        )

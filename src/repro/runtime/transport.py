@@ -1,0 +1,48 @@
+"""In-memory HTTP-like transport connecting clients to endpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HttpResponse:
+    """A minimal HTTP response."""
+
+    status: int
+    body: str = ""
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return 200 <= self.status < 300
+
+
+class InMemoryHttpTransport:
+    """Routes POSTs to registered endpoint handlers.
+
+    Handlers take ``(body, headers)`` and return an :class:`HttpResponse`
+    (or a plain string, promoted to a 200 response).
+    """
+
+    def __init__(self):
+        self._endpoints = {}
+        self.requests_sent = 0
+
+    def register(self, url, handler):
+        self._endpoints[url] = handler
+        return url
+
+    def unregister(self, url):
+        self._endpoints.pop(url, None)
+
+    def post(self, url, body, headers=None):
+        """POST ``body`` to ``url``; 404 when nothing is listening."""
+        self.requests_sent += 1
+        handler = self._endpoints.get(url)
+        if handler is None:
+            return HttpResponse(status=404, body=f"no endpoint at {url}")
+        outcome = handler(body, headers or {})
+        if isinstance(outcome, HttpResponse):
+            return outcome
+        return HttpResponse(status=200, body=str(outcome))

@@ -1,0 +1,21 @@
+"""Test-service corpus: one echo service per catalog type.
+
+Mirrors the paper's Preparation Phase step c): every public class of the
+platform language becomes a service with a single operation that returns
+its input unchanged (§III.A.c), so the service *interface* — not business
+logic — is what gets exercised.
+"""
+
+from repro.services.composite import CompositeServiceDefinition, compose_corpus
+from repro.services.model import ServiceDefinition, echo_operation_name
+from repro.services.generator import generate_corpus
+from repro.services.source import render_service_source
+
+__all__ = [
+    "CompositeServiceDefinition",
+    "ServiceDefinition",
+    "compose_corpus",
+    "echo_operation_name",
+    "generate_corpus",
+    "render_service_source",
+]

@@ -1,0 +1,80 @@
+"""Composite test services — the paper's second future-work item (§V):
+
+    "we plan to […] use services with a higher level of complexity to
+    cover more elaborate patterns of inter-operation."
+
+A composite service exposes one echo operation *per parameter type*, so
+a single WSDL carries several named schema types and a multi-operation
+portType.  Every framework quirk still applies per type — a composite
+that includes ``SimpleDateFormat`` inherits the duplicate-attribute
+pathology, one that includes a throwable inherits Axis1's wrapper bug —
+which is exactly the "more elaborate patterns" the authors wanted to
+probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.model import echo_operation_name, sanitize_identifier
+
+
+@dataclass(frozen=True)
+class CompositeServiceDefinition:
+    """A service exposing one echo operation per member type."""
+
+    parameter_types: tuple
+
+    def __post_init__(self):
+        if not self.parameter_types:
+            raise ValueError("a composite service needs at least one type")
+        names = [entry.name for entry in self.parameter_types]
+        if len(names) != len(set(names)):
+            raise ValueError("composite member type names must be distinct")
+
+    @property
+    def parameter_type(self):
+        """The primary member (used for naming and namespaces)."""
+        return self.parameter_types[0]
+
+    @property
+    def name(self):
+        primary = sanitize_identifier(self.parameter_type.full_name)
+        return f"Composite{primary}x{len(self.parameter_types)}Service"
+
+    @property
+    def target_namespace(self):
+        return (
+            "http://services.wsinterop.test/composite/"
+            f"{self.parameter_type.full_name}/{len(self.parameter_types)}"
+        )
+
+    @property
+    def operation_names(self):
+        return tuple(
+            echo_operation_name(entry) for entry in self.parameter_types
+        )
+
+    def __repr__(self):
+        return f"<CompositeServiceDefinition {self.name}>"
+
+
+def compose_corpus(catalog, group_size=3, limit=None):
+    """Group a catalog's types into composite services.
+
+    Consecutive catalog types are grouped ``group_size`` at a time
+    (skipping groups with duplicate simple names, which a single WSDL
+    cannot carry).  ``limit`` bounds how many composites are produced.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    composites = []
+    entries = list(catalog)
+    for start in range(0, len(entries) - group_size + 1, group_size):
+        group = tuple(entries[start : start + group_size])
+        if len({entry.name for entry in group}) != len(group):
+            continue
+        composites.append(CompositeServiceDefinition(group))
+        if limit is not None and len(composites) >= limit:
+            break
+    return composites

@@ -1,0 +1,17 @@
+"""Corpus generation: one echo service per catalog type.
+
+The paper generated 3,971 Java services for each Java server and 14,082
+C# services for IIS, then let deployment filter out the types the
+frameworks could not describe.  We reproduce that flow: *every* type
+yields a service definition; the server framework models reject the
+unbindable ones during the Service Description Generation step.
+"""
+
+from __future__ import annotations
+
+from repro.services.model import ServiceDefinition
+
+
+def generate_corpus(catalog):
+    """One :class:`ServiceDefinition` per type, in catalog order."""
+    return [ServiceDefinition(parameter_type=entry) for entry in catalog]

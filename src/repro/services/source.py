@@ -1,0 +1,72 @@
+"""Render the source code of a generated test service.
+
+The paper's code-generation scripts wrote real Java/C# service classes.
+We render equivalent sources — they make the examples tangible and give
+the documentation-site simulation something to display, and they are what
+the app-server models "deploy".
+"""
+
+from __future__ import annotations
+
+from repro.services.model import ServiceDefinition, sanitize_identifier
+from repro.typesystem.model import Language
+
+_JAVA_TEMPLATE = """\
+package test.services;
+
+import javax.jws.WebMethod;
+import javax.jws.WebParam;
+import javax.jws.WebService;
+import {import_name};
+
+@WebService(serviceName = "{service_name}")
+public class {class_name} {{
+
+    @WebMethod
+    public {type_name} {operation}(@WebParam(name = "input") {type_name} input) {{
+        return input;
+    }}
+}}
+"""
+
+_CSHARP_TEMPLATE = """\
+using System;
+using System.ServiceModel;
+using {namespace};
+
+namespace Test.Services
+{{
+    [ServiceContract(Name = "{service_name}")]
+    public class {class_name}
+    {{
+        [OperationContract]
+        public {type_name} {operation}({type_name} input)
+        {{
+            return input;
+        }}
+    }}
+}}
+"""
+
+
+def render_service_source(service):
+    """Render the service's implementation source (Java or C#)."""
+    if not isinstance(service, ServiceDefinition):
+        raise TypeError(f"expected ServiceDefinition, got {type(service).__name__}")
+    parameter = service.parameter_type
+    class_name = f"Echo{sanitize_identifier(parameter.full_name)}"
+    if parameter.language is Language.JAVA:
+        return _JAVA_TEMPLATE.format(
+            import_name=parameter.full_name,
+            service_name=service.name,
+            class_name=class_name,
+            type_name=parameter.name,
+            operation=service.operation_name,
+        )
+    return _CSHARP_TEMPLATE.format(
+        namespace=parameter.namespace,
+        service_name=service.name,
+        class_name=class_name,
+        type_name=parameter.name,
+        operation=service.operation_name,
+    )

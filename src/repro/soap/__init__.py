@@ -1,0 +1,18 @@
+"""SOAP 1.1 substrate: envelopes, literal encoding and faults.
+
+Used by the :mod:`repro.runtime` extension that implements the paper's
+announced future work — the Communication (4) and Execution (5) steps of
+the inter-operation lifecycle.
+"""
+
+from repro.soap.envelope import SoapEnvelope, SoapFault, build_envelope, parse_envelope
+from repro.soap.encoding import decode_wrapper, encode_wrapper
+
+__all__ = [
+    "SoapEnvelope",
+    "SoapFault",
+    "build_envelope",
+    "decode_wrapper",
+    "encode_wrapper",
+    "parse_envelope",
+]

@@ -1,0 +1,67 @@
+"""Document/literal-wrapped payload encoding.
+
+Encodes/decodes the wrapper element of an echo operation: a dict of
+property values becomes child elements of the wrapper, and back.  Values
+are rendered with XSD lexical conventions (booleans lowercase, ``None``
+for nillable elements, lists for unbounded particles).
+"""
+
+from __future__ import annotations
+
+from repro.xmlcore import Element, QName, XSI_NS
+
+
+def _render_value(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def encode_wrapper(wrapper_qname, values, prefix_hint="tns"):
+    """Build the wrapper element for ``values`` (a name → value dict).
+
+    List values produce repeated elements; ``None`` produces an
+    ``xsi:nil`` element.
+    """
+    wrapper = Element(wrapper_qname, prefix_hint=prefix_hint)
+    namespace = wrapper_qname.namespace
+    for name, value in values.items():
+        items = value if isinstance(value, list) else [value]
+        for item in items:
+            child = wrapper.add_child(
+                Element(QName(namespace, name), prefix_hint=prefix_hint)
+            )
+            if item is None:
+                child.set(QName(XSI_NS, "nil"), "true")
+            elif isinstance(item, dict):
+                nested = encode_wrapper(QName(namespace, name), item, prefix_hint)
+                child.content = nested.content
+            else:
+                child.add_text(_render_value(item))
+    return wrapper
+
+
+def decode_wrapper(element):
+    """Decode a wrapper element back into a name → value dict.
+
+    Repeated elements collapse into lists; ``xsi:nil`` elements decode to
+    ``None``.  Values come back as strings — typed coercion is the
+    caller's concern (it depends on the schema in hand).
+    """
+    values = {}
+    for child in element.children:
+        name = child.name.local
+        if child.get(QName(XSI_NS, "nil")) == "true":
+            value = None
+        elif child.children:
+            value = decode_wrapper(child)
+        else:
+            value = child.text
+        if name in values:
+            existing = values[name]
+            if not isinstance(existing, list):
+                values[name] = [existing]
+            values[name].append(value)
+        else:
+            values[name] = value
+    return values

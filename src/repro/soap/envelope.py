@@ -1,0 +1,84 @@
+"""SOAP 1.1 envelope model, builder and parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlcore import Element, QName, SOAP_ENV_NS, parse, serialize
+
+
+@dataclass
+class SoapFault:
+    """A SOAP 1.1 ``<Fault>``: faultcode, faultstring and optional detail."""
+
+    code: str
+    string: str
+    detail: str = ""
+
+
+@dataclass
+class SoapEnvelope:
+    """A parsed envelope: header elements, one body element or a fault."""
+
+    body: Element | None = None
+    headers: tuple = ()
+    fault: SoapFault | None = None
+
+    @property
+    def is_fault(self):
+        return self.fault is not None
+
+
+def _env(local):
+    return QName(SOAP_ENV_NS, local)
+
+
+def build_envelope(body_element=None, headers=(), fault=None):
+    """Build an ``<soapenv:Envelope>`` tree."""
+    envelope = Element(_env("Envelope"), prefix_hint="soapenv")
+    if headers:
+        header_el = envelope.add_child(Element(_env("Header"), prefix_hint="soapenv"))
+        for header in headers:
+            header_el.add_child(header)
+    body_el = envelope.add_child(Element(_env("Body"), prefix_hint="soapenv"))
+    if fault is not None:
+        fault_el = body_el.add_child(Element(_env("Fault"), prefix_hint="soapenv"))
+        fault_el.add_child(Element(QName("faultcode"), text=fault.code))
+        fault_el.add_child(Element(QName("faultstring"), text=fault.string))
+        if fault.detail:
+            fault_el.add_child(Element(QName("detail"), text=fault.detail))
+    elif body_element is not None:
+        body_el.add_child(body_element)
+    return envelope
+
+
+def serialize_envelope(body_element=None, headers=(), fault=None, pretty=False):
+    """Build and serialize an envelope in one step."""
+    return serialize(build_envelope(body_element, headers, fault), pretty=pretty)
+
+
+def parse_envelope(text):
+    """Parse SOAP text into a :class:`SoapEnvelope`."""
+    root = parse(text)
+    if root.name != _env("Envelope"):
+        raise ValueError(f"not a SOAP 1.1 envelope: {root.name.text()}")
+    headers = ()
+    header_el = root.find(_env("Header"))
+    if header_el is not None:
+        headers = tuple(header_el.children)
+    body_el = root.find(_env("Body"))
+    if body_el is None:
+        raise ValueError("envelope has no Body")
+    fault_el = body_el.find(_env("Fault"))
+    if fault_el is not None:
+        code_el = fault_el.find_local("faultcode")
+        string_el = fault_el.find_local("faultstring")
+        detail_el = fault_el.find_local("detail")
+        fault = SoapFault(
+            code=code_el.text if code_el is not None else "",
+            string=string_el.text if string_el is not None else "",
+            detail=detail_el.text if detail_el is not None else "",
+        )
+        return SoapEnvelope(fault=fault, headers=headers)
+    children = body_el.children
+    return SoapEnvelope(body=children[0] if children else None, headers=headers)

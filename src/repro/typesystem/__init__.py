@@ -1,0 +1,55 @@
+"""Models of the Java SE 7 and .NET Framework type systems.
+
+The paper generates one echo web service per public class of the server
+platform's language (3,971 Java classes, 14,082 .NET classes, harvested by
+crawling the official API documentation).  This package synthesizes those
+catalogs: every type carries structural facts (kind, constructors,
+generics, bean properties) plus *traits* — the structural peculiarities
+that the 2013-era frameworks stumbled over (throwable-derived shapes,
+DataSet-style schemas, case-colliding properties, …).
+
+The catalogs are calibrated (:mod:`repro.typesystem.quotas`) so that the
+*mechanistic* binding rules of the framework models land on the population
+counts the paper reports.  The rules themselves live with the frameworks;
+nothing in this package hard-codes per-framework outcomes.
+"""
+
+from repro.typesystem.catalog import Catalog
+from repro.typesystem.dotnet import build_dotnet_catalog
+from repro.typesystem.java import build_java_catalog
+from repro.typesystem.model import (
+    CtorVisibility,
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+)
+from repro.typesystem.quotas import (
+    DEFAULT_DOTNET_QUOTAS,
+    DEFAULT_JAVA_QUOTAS,
+    QUICK_DOTNET_QUOTAS,
+    QUICK_JAVA_QUOTAS,
+    DotNetCatalogQuotas,
+    JavaCatalogQuotas,
+)
+
+__all__ = [
+    "Catalog",
+    "CtorVisibility",
+    "DEFAULT_DOTNET_QUOTAS",
+    "DEFAULT_JAVA_QUOTAS",
+    "DotNetCatalogQuotas",
+    "JavaCatalogQuotas",
+    "Language",
+    "Property",
+    "QUICK_DOTNET_QUOTAS",
+    "QUICK_JAVA_QUOTAS",
+    "SimpleType",
+    "Trait",
+    "TypeInfo",
+    "TypeKind",
+    "build_dotnet_catalog",
+    "build_java_catalog",
+]

@@ -1,0 +1,78 @@
+"""The :class:`Catalog` container for a platform's public types."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.typesystem.model import TypeInfo
+
+
+class Catalog:
+    """An ordered, indexed collection of :class:`TypeInfo` entries.
+
+    Order is the deterministic synthesis order, so everything downstream
+    (service generation, campaign execution) is reproducible run to run.
+    """
+
+    def __init__(self, language, types):
+        self.language = language
+        self._types = list(types)
+        self._by_name = {}
+        for entry in self._types:
+            if not isinstance(entry, TypeInfo):
+                raise TypeError(f"expected TypeInfo, got {type(entry).__name__}")
+            if entry.full_name in self._by_name:
+                raise ValueError(f"duplicate type {entry.full_name}")
+            if entry.language is not language:
+                raise ValueError(
+                    f"{entry.full_name} is {entry.language.value}, catalog is {language.value}"
+                )
+            self._by_name[entry.full_name] = entry
+
+    def __len__(self):
+        return len(self._types)
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def __contains__(self, full_name):
+        return full_name in self._by_name
+
+    def get(self, full_name):
+        """Look a type up by fully-qualified name (``None`` if absent)."""
+        return self._by_name.get(full_name)
+
+    def require(self, full_name):
+        """Look a type up by fully-qualified name (raise if absent)."""
+        try:
+            return self._by_name[full_name]
+        except KeyError:
+            raise KeyError(f"no such type in catalog: {full_name}") from None
+
+    def with_trait(self, trait):
+        """All types carrying ``trait``, in catalog order."""
+        return [entry for entry in self._types if trait in entry.traits]
+
+    def count_with_trait(self, trait):
+        """Number of types carrying ``trait``."""
+        return sum(1 for entry in self._types if trait in entry.traits)
+
+    def kinds(self):
+        """``Counter`` of :class:`TypeKind` across the catalog."""
+        return Counter(entry.kind for entry in self._types)
+
+    def namespaces(self):
+        """Sorted list of distinct namespaces present."""
+        return sorted({entry.namespace for entry in self._types})
+
+    def summary(self):
+        """Human-readable one-paragraph summary (used by the CLI)."""
+        kinds = ", ".join(
+            f"{count} {kind.value}" for kind, count in sorted(
+                self.kinds().items(), key=lambda item: -item[1]
+            )
+        )
+        return (
+            f"{self.language.value} catalog: {len(self)} types across "
+            f"{len(self.namespaces())} namespaces ({kinds})"
+        )

@@ -1,0 +1,224 @@
+"""Synthesis of the .NET Framework catalog (paper: 14,082 public types).
+
+Mirrors :mod:`repro.typesystem.java` for the C# side.  The named specials
+implement the paper's footnotes f)–h): DataSet-family types with
+``s:schema``/``xs:any`` content models, ``System.Net.Sockets.SocketError``
+with case-colliding enum constants, and the four
+``System.Web.UI.WebControls`` types whose members collide under VB.NET's
+case-insensitive rules.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.typesystem.catalog import Catalog
+from repro.typesystem.model import (
+    CtorVisibility,
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+    script_unfriendly_properties,
+)
+from repro.typesystem.naming import DOTNET_NAMESPACES, NameFactory
+from repro.typesystem.quotas import DEFAULT_DOTNET_QUOTAS
+from repro.typesystem.synthesis import synth_enum_values, synth_properties
+
+#: Named types called out by the paper's footnotes (Table III f–h).
+DATASET = "System.Data.DataSet"
+DATATABLE = "System.Data.DataTable"
+DATATABLE_COLLECTION = "System.Data.DataTableCollection"
+SOCKET_ERROR = "System.Net.Sockets.SocketError"
+
+#: The four WebControls types behind the VB.NET compilation failures.
+WEBCONTROLS_CASE_COLLIDERS = (
+    "System.Web.UI.WebControls.Button",
+    "System.Web.UI.WebControls.Label",
+    "System.Web.UI.WebControls.TextBox",
+    "System.Web.UI.WebControls.HyperLink",
+)
+
+#: Namespaces that host the DataSet-style (``ref="s:schema"``) types —
+#: the paper notes the 80 WS-I-failing services are "all services based
+#: on classes from the same packages".
+_DATASET_NAMESPACES = ("System.Data", "System.Data.Common", "System.Xml")
+
+def _struct_share(plain_count):
+    """How many plain bindable types are structs (realism only)."""
+    return min(200, plain_count // 8)
+
+
+def _enum_share(plain_count):
+    """How many plain bindable types are enums (realism only)."""
+    return min(150, plain_count // 8)
+
+
+def _webcontrol_properties():
+    """Bean shape of a WebControls type: ``Text`` collides with ``text``."""
+    return (
+        Property("Text", SimpleType.STRING),
+        Property("text", SimpleType.STRING),
+        Property("Enabled", SimpleType.BOOLEAN),
+        Property("TabIndex", SimpleType.SHORT),
+    )
+
+
+def _named_specials():
+    """Hand-written types behind footnotes f)–h)."""
+    cs = Language.CSHARP
+    data_shape = (
+        Property("TableName", SimpleType.STRING),
+        Property("Namespace", SimpleType.URI),
+        Property("CaseSensitive", SimpleType.BOOLEAN),
+    )
+    specials = [
+        TypeInfo(cs, "System.Data", "DataSet",
+                 properties=data_shape,
+                 traits=frozenset({Trait.ANY_CONTENT})),
+        TypeInfo(cs, "System.Data", "DataTable",
+                 properties=data_shape,
+                 traits=frozenset({Trait.ANY_CONTENT, Trait.MIXED_CONTENT})),
+        TypeInfo(cs, "System.Data", "DataTableCollection",
+                 properties=(Property("Count", SimpleType.INT),),
+                 traits=frozenset({Trait.ANY_CONTENT, Trait.MIXED_CONTENT})),
+        TypeInfo(cs, "System.Net.Sockets", "SocketError",
+                 kind=TypeKind.ENUM,
+                 enum_values=(
+                     "Success", "InProgress", "inProgress", "Interrupted",
+                     "AccessDenied", "TimedOut", "ConnectionReset",
+                 ),
+                 traits=frozenset({Trait.CASE_COLLIDING_ENUM})),
+    ]
+    for full_name in WEBCONTROLS_CASE_COLLIDERS:
+        namespace, __, name = full_name.rpartition(".")
+        specials.append(
+            TypeInfo(cs, namespace, name,
+                     properties=_webcontrol_properties(),
+                     traits=frozenset({Trait.CASE_COLLIDING_PROPERTIES}))
+        )
+    return specials
+
+
+def build_dotnet_catalog(quotas=DEFAULT_DOTNET_QUOTAS):
+    """Build the calibrated .NET Framework catalog."""
+    quotas.validate()
+    rng = random.Random(quotas.seed)
+    factory = NameFactory(DOTNET_NAMESPACES, rng)
+    cs = Language.CSHARP
+
+    specials = _named_specials()
+    for entry in specials:
+        factory.reserve(entry.namespace, entry.name)
+    types = list(specials)
+
+    # --- DataSet-style pool (the WS-I-failing population) -----------------
+    # Structure ladder inside the pool: the first `schema_keyref` carry a
+    # keyref constraint, the next `recursive_schema_ref` are
+    # self-recursive, and one more is the wsdl.exe self-warning service.
+    for index in range(quotas.dataset_schema_ref):
+        namespace = _DATASET_NAMESPACES[index % len(_DATASET_NAMESPACES)]
+        namespace, name = factory.next_class_name(namespace)
+        traits = {Trait.DATASET_SCHEMA_REF}
+        cursor = index
+        if cursor < quotas.schema_keyref:
+            traits.add(Trait.SCHEMA_KEYREF)
+        elif cursor < quotas.schema_keyref + quotas.recursive_schema_ref:
+            traits.add(Trait.RECURSIVE_SCHEMA_REF)
+        elif cursor == quotas.schema_keyref + quotas.recursive_schema_ref:
+            traits.add(Trait.SELF_WARN)
+        types.append(
+            TypeInfo(cs, namespace, name,
+                     properties=synth_properties(rng, 1, 3),
+                     traits=frozenset(traits))
+        )
+
+    # --- xml:lang pool (WS-I failing, tolerated by every client) ----------
+    for __ in range(quotas.xml_lang_attr):
+        namespace, name = factory.next_class_name("System.Globalization")
+        types.append(
+            TypeInfo(cs, namespace, name,
+                     properties=synth_properties(rng, 1, 3),
+                     traits=frozenset({Trait.XML_LANG_ATTR}))
+        )
+
+    # --- JScript-breaking pool --------------------------------------------
+    for index in range(quotas.script_unfriendly):
+        namespace, name = factory.next_class_name()
+        traits = {Trait.SCRIPT_UNFRIENDLY}
+        depth = 2
+        if index < quotas.script_crasher:
+            traits.add(Trait.SCRIPT_CRASHER)
+            depth = 5
+        types.append(
+            TypeInfo(cs, namespace, name,
+                     properties=script_unfriendly_properties(depth=depth),
+                     traits=frozenset(traits))
+        )
+
+    # --- plain bindable pool ----------------------------------------------
+    plain_count = quotas.wcf_bindable - len(types)
+    if plain_count < 0:
+        raise ValueError("quotas leave no room for plain bindable types")
+    struct_share = _struct_share(plain_count)
+    enum_share = _enum_share(plain_count)
+    for index in range(plain_count):
+        namespace, name = factory.next_class_name()
+        if index < struct_share:
+            types.append(
+                TypeInfo(cs, namespace, name, kind=TypeKind.STRUCT,
+                         properties=synth_properties(rng, 1, 4))
+            )
+        elif index < struct_share + enum_share:
+            types.append(
+                TypeInfo(cs, namespace, name, kind=TypeKind.ENUM,
+                         enum_values=synth_enum_values(rng))
+            )
+        else:
+            types.append(
+                TypeInfo(cs, namespace, name,
+                         properties=synth_properties(rng))
+            )
+
+    # --- non-bindable pool -------------------------------------------------
+    remaining = quotas.total - len(types)
+    for kind, ctor, is_generic, count in _non_bindable_buckets(remaining):
+        for __ in range(count):
+            if kind is TypeKind.INTERFACE:
+                namespace, name = factory.next_interface_name()
+            else:
+                namespace, name = factory.next_class_name()
+            types.append(
+                TypeInfo(cs, namespace, name, kind=kind, ctor=ctor,
+                         is_generic=is_generic,
+                         properties=synth_properties(rng, 1, 4))
+            )
+
+    catalog = Catalog(cs, types)
+    if len(catalog) != quotas.total:
+        raise AssertionError(
+            f"synthesis bug: built {len(catalog)} types, wanted {quotas.total}"
+        )
+    return catalog
+
+
+def _non_bindable_buckets(total):
+    """Split the non-bindable population into realistic buckets."""
+    generic_count = int(total * 0.36)
+    interface_count = int(total * 0.21)
+    abstract_count = int(total * 0.16)
+    delegate_count = int(total * 0.08)
+    no_ctor_count = (
+        total - generic_count - interface_count - abstract_count - delegate_count
+    )
+    if no_ctor_count < 0:
+        raise ValueError("non-bindable pool too small for its buckets")
+    return (
+        (TypeKind.CLASS, CtorVisibility.PUBLIC, True, generic_count),
+        (TypeKind.INTERFACE, CtorVisibility.NONE, False, interface_count),
+        (TypeKind.ABSTRACT_CLASS, CtorVisibility.PUBLIC, False, abstract_count),
+        (TypeKind.DELEGATE, CtorVisibility.NONE, False, delegate_count),
+        (TypeKind.CLASS, CtorVisibility.NONE, False, no_ctor_count),
+    )

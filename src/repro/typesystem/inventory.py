@@ -1,0 +1,76 @@
+"""Inventory reports over a type catalog.
+
+Used by ``wsinterop corpus --detail`` and the documentation: what the
+calibrated populations actually contain — kinds, namespaces, traits and
+the failure-class quotas — so a reader can audit the synthesis without
+reading the generator code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.typesystem.model import Trait
+
+
+def kind_distribution(catalog):
+    """``{kind_label: count}``, largest first."""
+    counts = Counter(entry.kind.value for entry in catalog)
+    return dict(counts.most_common())
+
+
+def namespace_distribution(catalog, top=10):
+    """The ``top`` largest namespaces with their type counts."""
+    counts = Counter(entry.namespace for entry in catalog)
+    return counts.most_common(top)
+
+
+def trait_inventory(catalog):
+    """``{trait_label: count}`` for every trait present in the catalog."""
+    counts = Counter()
+    for entry in catalog:
+        for trait in entry.traits:
+            counts[trait.value] += 1
+    return dict(sorted(counts.items()))
+
+
+def failure_class_summary(catalog):
+    """The populations behind the paper's failure classes, by name."""
+    interesting = (
+        (Trait.THROWABLE, "throwable-shaped types (Axis1 wrapper bug)"),
+        (Trait.SCRIPT_UNFRIENDLY, "JScript-breaking bean shapes"),
+        (Trait.SCRIPT_CRASHER, "JScript compiler crashers"),
+        (Trait.DATASET_SCHEMA_REF, "DataSet-style s:schema types"),
+        (Trait.SCHEMA_KEYREF, "keyref-carrying types (gSOAP)"),
+        (Trait.RECURSIVE_SCHEMA_REF, "self-recursive schemas (suds)"),
+        (Trait.XML_LANG_ATTR, "xml:lang referencing types"),
+        (Trait.ANY_CONTENT, "xs:any content models"),
+        (Trait.CASE_COLLIDING_PROPERTIES, "case-colliding beans (VB)"),
+        (Trait.CASE_COLLIDING_ENUM, "case-colliding enums (Axis2)"),
+        (Trait.ASYNC_HANDLE, "async invocation handles"),
+    )
+    summary = []
+    for trait, label in interesting:
+        count = catalog.count_with_trait(trait)
+        if count:
+            summary.append((label, count))
+    return summary
+
+
+def render_inventory(catalog):
+    """Multi-paragraph text inventory (the CLI's ``corpus --detail``)."""
+    lines = [catalog.summary(), ""]
+    lines.append("Kinds:")
+    for kind, count in kind_distribution(catalog).items():
+        lines.append(f"  {kind:<16} {count:>6}")
+    lines.append("")
+    lines.append("Largest namespaces:")
+    for namespace, count in namespace_distribution(catalog):
+        lines.append(f"  {namespace:<36} {count:>5}")
+    lines.append("")
+    failure_classes = failure_class_summary(catalog)
+    if failure_classes:
+        lines.append("Failure-class populations:")
+        for label, count in failure_classes:
+            lines.append(f"  {label:<44} {count:>5}")
+    return "\n".join(lines)

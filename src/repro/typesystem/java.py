@@ -1,0 +1,290 @@
+"""Synthesis of the Java SE 7 catalog (paper: 3,971 public types).
+
+The catalog mixes a small set of *named* types — the exact classes the
+paper's footnotes blame for concrete failures — with a calibrated
+population of synthesized types.  Bindability is never stored: the server
+framework models decide it from structure (kind, constructor visibility,
+generics), and the synthesis arranges structure so those honest rules hit
+the published counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.typesystem.catalog import Catalog
+from repro.typesystem.model import (
+    CtorVisibility,
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+    properties_with_case_collision,
+    script_unfriendly_properties,
+)
+from repro.typesystem.naming import JAVA_PACKAGES, NameFactory
+from repro.typesystem.quotas import DEFAULT_JAVA_QUOTAS
+from repro.typesystem.synthesis import (
+    synth_enum_values,
+    synth_properties,
+    throwable_properties,
+)
+
+#: Named types called out by the paper's footnotes (Table III a–e).
+FUTURE = "java.util.concurrent.Future"
+RESPONSE = "javax.xml.ws.Response"
+W3C_ENDPOINT_REFERENCE = "javax.xml.ws.wsaddressing.W3CEndpointReference"
+SIMPLE_DATE_FORMAT = "java.text.SimpleDateFormat"
+XML_GREGORIAN_CALENDAR = "javax.xml.datatype.XMLGregorianCalendar"
+FEATURE_DESCRIPTOR = "java.beans.FeatureDescriptor"
+
+def _enum_share(plain_count):
+    """How many synthesized bindable types are enums (realism only)."""
+    return min(60, plain_count // 4)
+
+
+def _named_specials():
+    """The hand-written types behind the paper's footnoted failures."""
+    java = Language.JAVA
+    return [
+        TypeInfo(
+            java, "java.util.concurrent", "Future",
+            kind=TypeKind.INTERFACE, ctor=CtorVisibility.NONE,
+            is_generic=True, traits=frozenset({Trait.ASYNC_HANDLE}),
+        ),
+        TypeInfo(
+            java, "javax.xml.ws", "Response",
+            kind=TypeKind.INTERFACE, ctor=CtorVisibility.NONE,
+            is_generic=True, traits=frozenset({Trait.ASYNC_HANDLE}),
+        ),
+        TypeInfo(
+            java, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+            properties=(
+                Property("address", SimpleType.URI),
+                Property("referenceParameters", SimpleType.STRING, is_array=True),
+                Property("metadata", SimpleType.STRING),
+            ),
+            traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+        ),
+        TypeInfo(
+            java, "java.text", "SimpleDateFormat",
+            properties=(
+                Property("pattern", SimpleType.STRING),
+                Property("lenient", SimpleType.BOOLEAN),
+                Property("twoDigitYearStart", SimpleType.DATETIME),
+            ),
+            traits=frozenset({Trait.LOCALE_FORMAT}),
+        ),
+        TypeInfo(
+            java, "javax.xml.datatype", "XMLGregorianCalendar",
+            properties=(
+                Property("year", SimpleType.INT),
+                Property("month", SimpleType.INT),
+                Property("day", SimpleType.INT),
+                Property("timezone", SimpleType.INT),
+                Property("fractionalSecond", SimpleType.DECIMAL),
+            ),
+            traits=frozenset({Trait.XML_CALENDAR}),
+        ),
+        TypeInfo(
+            java, "java.beans", "FeatureDescriptor",
+            properties=properties_with_case_collision(),
+            traits=frozenset({Trait.CASE_COLLIDING_PROPERTIES}),
+        ),
+    ]
+
+
+def _named_throwables():
+    """Well-known Throwable roots, counted inside the throwable quota."""
+    java = Language.JAVA
+    shape = throwable_properties()
+    names = [
+        ("java.lang", "Exception"),
+        ("java.lang", "Error"),
+        ("java.lang", "RuntimeException"),
+        ("java.io", "IOException"),
+    ]
+    return [
+        TypeInfo(java, package, name, properties=shape,
+                 traits=frozenset({Trait.THROWABLE}))
+        for package, name in names
+    ]
+
+
+def _named_plain():
+    """A few recognisable everyday bindable classes (realism only)."""
+    java = Language.JAVA
+    return [
+        TypeInfo(java, "java.util", "Date",
+                 properties=(Property("time", SimpleType.LONG),)),
+        TypeInfo(java, "java.util", "BitSet",
+                 properties=(Property("size", SimpleType.INT),
+                             Property("words", SimpleType.LONG, is_array=True))),
+        TypeInfo(java, "java.awt", "Point",
+                 properties=(Property("x", SimpleType.INT),
+                             Property("y", SimpleType.INT))),
+        TypeInfo(java, "java.lang", "StringBuilder",
+                 properties=(Property("capacity", SimpleType.INT),)),
+        TypeInfo(java, "java.net", "URL",
+                 properties=(Property("host", SimpleType.STRING),
+                             Property("port", SimpleType.INT),
+                             Property("file", SimpleType.STRING))),
+        TypeInfo(java, "java.util", "Locale",
+                 properties=(Property("language", SimpleType.STRING),
+                             Property("country", SimpleType.STRING))),
+    ]
+
+
+def build_java_catalog(quotas=DEFAULT_JAVA_QUOTAS):
+    """Build the calibrated Java SE 7 catalog."""
+    quotas.validate()
+    rng = random.Random(quotas.seed)
+    factory = NameFactory(JAVA_PACKAGES, rng)
+    java = Language.JAVA
+
+    specials = _named_specials()
+    named_throwables = _named_throwables()
+    named_plain = _named_plain()
+    for entry in specials + named_throwables + named_plain:
+        factory.reserve(entry.namespace, entry.name)
+
+    types = []
+    types.extend(specials)
+    types.extend(named_throwables)
+    types.extend(named_plain)
+
+    # --- bindable pool (concrete, public ctor or protected ctor) ---------
+    # Specials contributing to the Metro-bindable count: the four concrete
+    # specials (EPR, SimpleDateFormat, XMLGregorianCalendar,
+    # FeatureDescriptor) plus the named throwables and plain classes.
+    bindable_specials = 4 + len(named_throwables) + len(named_plain)
+
+    synth_throwables = quotas.throwable_metro - len(named_throwables)
+    script_count = quotas.script_unfriendly
+    plain_count = (
+        quotas.metro_bindable
+        - bindable_specials
+        - synth_throwables
+        - script_count
+    )
+    if plain_count < 0:
+        raise ValueError("quotas leave no room for plain bindable classes")
+    enum_share = _enum_share(plain_count)
+
+    # CXF rejects protected default constructors; Metro tolerates them.
+    # Quota: Metro-bindable minus (JBossWS-bindable minus the async pair).
+    cxf_rejected_total = quotas.metro_bindable - (quotas.jbossws_bindable - 2)
+    cxf_rejected_throwables = quotas.throwable_metro - quotas.throwable_jbossws
+    cxf_rejected_plain = cxf_rejected_total - cxf_rejected_throwables
+    if cxf_rejected_plain < 0 or cxf_rejected_plain > plain_count - enum_share:
+        raise ValueError("CXF rejection quota does not fit the plain pool")
+
+    throwable_shape = throwable_properties()
+    for index in range(synth_throwables):
+        package, name = factory.next_throwable_name()
+        ctor = (
+            CtorVisibility.PROTECTED
+            if index < cxf_rejected_throwables
+            else CtorVisibility.PUBLIC
+        )
+        traits = {Trait.THROWABLE}
+        if ctor is CtorVisibility.PROTECTED:
+            traits.add(Trait.PROTECTED_DEFAULT_CTOR)
+        types.append(
+            TypeInfo(java, package, name, ctor=ctor,
+                     properties=throwable_shape, traits=frozenset(traits))
+        )
+
+    for __ in range(script_count):
+        package, name = factory.next_class_name()
+        types.append(
+            TypeInfo(java, package, name,
+                     properties=script_unfriendly_properties(depth=2),
+                     traits=frozenset({Trait.SCRIPT_UNFRIENDLY}))
+        )
+
+    for index in range(plain_count):
+        package, name = factory.next_class_name()
+        if index < enum_share:
+            types.append(
+                TypeInfo(java, package, name, kind=TypeKind.ENUM,
+                         enum_values=synth_enum_values(rng))
+            )
+            continue
+        ctor = (
+            CtorVisibility.PROTECTED
+            if index - enum_share < cxf_rejected_plain
+            else CtorVisibility.PUBLIC
+        )
+        traits = frozenset(
+            {Trait.PROTECTED_DEFAULT_CTOR}
+            if ctor is CtorVisibility.PROTECTED
+            else ()
+        )
+        types.append(
+            TypeInfo(java, package, name, ctor=ctor,
+                     properties=synth_properties(rng), traits=traits)
+        )
+
+    # --- non-bindable pool ------------------------------------------------
+    # Interfaces, abstract classes, generics, annotation types and classes
+    # without default constructors: none of these can be an echo-service
+    # parameter, so the WSDL-generation step filters them out (paper
+    # §III.B.a: 14,785 of 22,024 services yield no WSDL).
+    remaining = quotas.total - len(types)
+    non_bindable_throwables = quotas.throwable_total - quotas.throwable_metro
+    buckets = _non_bindable_buckets(remaining, non_bindable_throwables)
+    for kind, ctor, is_generic, count, throwable in buckets:
+        for __ in range(count):
+            if kind is TypeKind.INTERFACE:
+                package, name = factory.next_interface_name()
+            elif throwable:
+                package, name = factory.next_throwable_name()
+            else:
+                package, name = factory.next_class_name()
+            traits = frozenset({Trait.THROWABLE}) if throwable else frozenset()
+            properties = throwable_shape if throwable else synth_properties(rng)
+            types.append(
+                TypeInfo(java, package, name, kind=kind, ctor=ctor,
+                         is_generic=is_generic, properties=properties,
+                         traits=traits)
+            )
+
+    catalog = Catalog(java, types)
+    if len(catalog) != quotas.total:
+        raise AssertionError(
+            f"synthesis bug: built {len(catalog)} types, wanted {quotas.total}"
+        )
+    return catalog
+
+
+def _non_bindable_buckets(total, throwable_count):
+    """Split the non-bindable population into realistic buckets.
+
+    Returns ``(kind, ctor, is_generic, count, throwable)`` tuples whose
+    counts sum exactly to ``total``.
+    """
+    interface_count = int(total * 0.46)
+    abstract_count = int(total * 0.21)
+    generic_count = int(total * 0.19)
+    annotation_count = int(total * 0.03)
+    no_ctor_count = (
+        total
+        - interface_count
+        - abstract_count
+        - generic_count
+        - annotation_count
+        - throwable_count
+    )
+    if no_ctor_count < 0:
+        raise ValueError("non-bindable pool too small for its buckets")
+    return (
+        (TypeKind.INTERFACE, CtorVisibility.NONE, False, interface_count, False),
+        (TypeKind.ABSTRACT_CLASS, CtorVisibility.PUBLIC, False, abstract_count, False),
+        (TypeKind.CLASS, CtorVisibility.PUBLIC, True, generic_count, False),
+        (TypeKind.ANNOTATION, CtorVisibility.NONE, False, annotation_count, False),
+        (TypeKind.CLASS, CtorVisibility.NONE, False, no_ctor_count, False),
+        (TypeKind.CLASS, CtorVisibility.NONE, False, throwable_count, True),
+    )

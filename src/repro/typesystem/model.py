@@ -1,0 +1,215 @@
+"""Core data model for platform type catalogs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Language(enum.Enum):
+    """Implementation language of a platform's class library."""
+
+    JAVA = "java"
+    CSHARP = "csharp"
+
+
+class TypeKind(enum.Enum):
+    """Declaration kind of a catalog type."""
+
+    CLASS = "class"
+    ABSTRACT_CLASS = "abstract class"
+    INTERFACE = "interface"
+    ENUM = "enum"
+    STRUCT = "struct"  # .NET value types
+    DELEGATE = "delegate"  # .NET function types
+    ANNOTATION = "annotation"  # Java annotation types
+
+
+class CtorVisibility(enum.Enum):
+    """Visibility of the default (no-argument) constructor, if any."""
+
+    PUBLIC = "public"
+    PROTECTED = "protected"
+    PRIVATE = "private"
+    NONE = "none"  # no default constructor at all
+
+
+class Trait(enum.Enum):
+    """Structural peculiarities that framework code paths react to.
+
+    Traits describe *what the type looks like*, never *which framework
+    fails on it* — binding and code-generation rules elsewhere decide
+    that.  Each trait documents the concrete structure it stands for.
+    """
+
+    #: Derives from ``java.lang.Throwable`` — bean shape includes the
+    #: ``message``/``cause``/``stackTrace`` properties; fault wrappers are
+    #: generated for it by some client tools.
+    THROWABLE = "throwable"
+
+    #: Asynchronous invocation handle (``Future``/``Response``): an
+    #: interface parameterized over the real payload, with no bean state.
+    ASYNC_HANDLE = "async-handle"
+
+    #: Embeds the WS-Addressing ``EndpointReference`` schema, which lives
+    #: in a foreign namespace that the emitting framework references
+    #: rather than inlines.
+    WS_ADDRESSING_EPR = "ws-addressing-epr"
+
+    #: Locale-sensitive formatter (``SimpleDateFormat``) whose bean shape
+    #: exposes the same logical attribute twice (pattern + localized
+    #: pattern), which frameworks render as conflicting schema attributes.
+    LOCALE_FORMAT = "locale-format"
+
+    #: ``javax.xml.datatype.XMLGregorianCalendar`` — the XML calendar type
+    #: that lives in a package some generators special-case incorrectly.
+    XML_CALENDAR = "xml-calendar"
+
+    #: Bean has two properties whose names differ only in letter case
+    #: (fatal for case-insensitive target languages such as VB.NET).
+    CASE_COLLIDING_PROPERTIES = "case-colliding-properties"
+
+    #: Enum whose constants collide after identifier normalization
+    #: (e.g. ``InProgress`` vs ``inProgress``).
+    CASE_COLLIDING_ENUM = "case-colliding-enum"
+
+    #: Bean exposes nillable value-type array properties — the construct
+    #: the JScript .NET generator renders into code that references
+    #: helpers it never emits.
+    SCRIPT_UNFRIENDLY = "script-unfriendly"
+
+    #: Deeply nested variant of the above that drives the JScript
+    #: compiler itself into an internal crash.
+    SCRIPT_CRASHER = "script-crasher"
+
+    #: Default constructor is ``protected`` — reachable reflectively but
+    #: rejected by strict binders.
+    PROTECTED_DEFAULT_CTOR = "protected-default-ctor"
+
+    #: .NET DataSet-style type: WCF describes it with
+    #: ``<s:element ref="s:schema"/><s:any/>`` (schema-in-instance).
+    DATASET_SCHEMA_REF = "dataset-schema-ref"
+
+    #: DataSet-style type whose schema additionally carries a
+    #: ``<s:keyref>`` identity constraint.
+    SCHEMA_KEYREF = "schema-keyref"
+
+    #: DataSet-style type whose schema reference is self-recursive.
+    RECURSIVE_SCHEMA_REF = "recursive-schema-ref"
+
+    #: Schema references ``xml:lang`` without importing the XML namespace
+    #: schema (fails WS-I, tolerated by every tool in practice).
+    XML_LANG_ATTR = "xml-lang-attr"
+
+    #: Content model is an ``xs:any`` wildcard (``DataSet``-family types).
+    ANY_CONTENT = "any-content"
+
+    #: ``xs:any`` combined with a mixed content model.
+    MIXED_CONTENT = "mixed-content"
+
+    #: The one WS-I-failing .NET service whose WSDL makes ``wsdl.exe``
+    #: itself emit a schema-validation warning.
+    SELF_WARN = "self-warn"
+
+
+class SimpleType(enum.Enum):
+    """Language-agnostic tokens for property value types.
+
+    Each token has a canonical XSD mapping (see :mod:`repro.xsd.builtins`).
+    """
+
+    STRING = "string"
+    INT = "int"
+    LONG = "long"
+    SHORT = "short"
+    BYTE = "byte"
+    BOOLEAN = "boolean"
+    FLOAT = "float"
+    DOUBLE = "double"
+    DECIMAL = "decimal"
+    DATETIME = "dateTime"
+    DURATION = "duration"
+    URI = "anyURI"
+    QNAME = "QName"
+    BYTES = "base64Binary"
+    CHAR = "char"
+
+
+@dataclass(frozen=True)
+class Property:
+    """One bean property of a catalog type.
+
+    ``is_array`` marks repeated values (``maxOccurs="unbounded"``);
+    ``nillable_value`` marks a value-type element carried with
+    ``nillable="true"`` (the shape that breaks the JScript generator).
+    """
+
+    name: str
+    value_type: SimpleType = SimpleType.STRING
+    is_array: bool = False
+    nillable_value: bool = False
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """A public type of a platform class library."""
+
+    language: Language
+    namespace: str  # Java package or .NET namespace
+    name: str
+    kind: TypeKind = TypeKind.CLASS
+    ctor: CtorVisibility = CtorVisibility.PUBLIC
+    is_generic: bool = False
+    properties: tuple[Property, ...] = ()
+    traits: frozenset[Trait] = frozenset()
+    enum_values: tuple[str, ...] = ()
+
+    @property
+    def full_name(self):
+        """Fully-qualified name, e.g. ``java.util.ArrayList``."""
+        return f"{self.namespace}.{self.name}"
+
+    def has_trait(self, trait):
+        """True if this type carries ``trait``."""
+        return trait in self.traits
+
+    @property
+    def is_concrete_class(self):
+        """True for instantiable class-like kinds (class, enum, struct)."""
+        return self.kind in (TypeKind.CLASS, TypeKind.ENUM, TypeKind.STRUCT)
+
+    def __repr__(self):
+        return f"<TypeInfo {self.full_name} ({self.kind.value})>"
+
+
+def make_traits(*traits):
+    """Convenience: build a ``frozenset`` of traits."""
+    return frozenset(traits)
+
+
+def properties_with_case_collision():
+    """The bean shape of a case-colliding type: ``value`` vs ``Value``."""
+    return (
+        Property("value", SimpleType.STRING),
+        Property("Value", SimpleType.STRING),
+        Property("expired", SimpleType.BOOLEAN),
+    )
+
+
+def script_unfriendly_properties(depth=1):
+    """Bean shape that the JScript generator mishandles.
+
+    ``depth`` scales how many nillable value-type arrays the bean carries;
+    crashers use a larger depth.
+    """
+    props = [Property("label", SimpleType.STRING)]
+    for index in range(depth):
+        props.append(
+            Property(
+                f"segment{index}",
+                SimpleType.INT,
+                is_array=True,
+                nillable_value=True,
+            )
+        )
+    return tuple(props)

@@ -1,0 +1,284 @@
+"""Deterministic synthesis of realistic class and package names.
+
+The real study harvested class names by crawling the Java SE 7 and .NET
+Framework API documentation.  Offline, we synthesize name populations with
+the same look and feel: authentic package/namespace lists weighted roughly
+by their real size, and compound PascalCase class names built from domain
+stems.  Synthesis is fully deterministic for a given RNG.
+"""
+
+from __future__ import annotations
+
+#: Java SE 7 packages with rough relative weights (bigger → more types).
+JAVA_PACKAGES = (
+    ("java.applet", 1),
+    ("java.awt", 14),
+    ("java.awt.event", 5),
+    ("java.awt.geom", 4),
+    ("java.awt.image", 5),
+    ("java.beans", 4),
+    ("java.io", 8),
+    ("java.lang", 10),
+    ("java.lang.annotation", 1),
+    ("java.lang.management", 2),
+    ("java.lang.ref", 1),
+    ("java.lang.reflect", 2),
+    ("java.math", 1),
+    ("java.net", 5),
+    ("java.nio", 4),
+    ("java.nio.channels", 3),
+    ("java.nio.charset", 1),
+    ("java.nio.file", 4),
+    ("java.rmi", 2),
+    ("java.security", 6),
+    ("java.security.cert", 2),
+    ("java.sql", 4),
+    ("java.text", 3),
+    ("java.util", 10),
+    ("java.util.concurrent", 5),
+    ("java.util.jar", 1),
+    ("java.util.logging", 2),
+    ("java.util.prefs", 1),
+    ("java.util.regex", 1),
+    ("java.util.zip", 2),
+    ("javax.accessibility", 2),
+    ("javax.activation", 1),
+    ("javax.annotation", 1),
+    ("javax.crypto", 2),
+    ("javax.imageio", 3),
+    ("javax.jws", 1),
+    ("javax.management", 6),
+    ("javax.naming", 3),
+    ("javax.net.ssl", 2),
+    ("javax.print", 3),
+    ("javax.script", 1),
+    ("javax.security.auth", 2),
+    ("javax.sound.midi", 2),
+    ("javax.sound.sampled", 2),
+    ("javax.sql", 2),
+    ("javax.swing", 18),
+    ("javax.swing.event", 4),
+    ("javax.swing.plaf", 6),
+    ("javax.swing.table", 2),
+    ("javax.swing.text", 7),
+    ("javax.swing.tree", 2),
+    ("javax.xml.bind", 3),
+    ("javax.xml.datatype", 1),
+    ("javax.xml.namespace", 1),
+    ("javax.xml.parsers", 1),
+    ("javax.xml.soap", 2),
+    ("javax.xml.stream", 2),
+    ("javax.xml.transform", 2),
+    ("javax.xml.validation", 1),
+    ("javax.xml.ws", 2),
+    ("javax.xml.xpath", 1),
+    ("org.w3c.dom", 3),
+    ("org.xml.sax", 2),
+)
+
+#: .NET Framework 4 namespaces with rough relative weights.
+DOTNET_NAMESPACES = (
+    ("Microsoft.CSharp", 1),
+    ("Microsoft.VisualBasic", 3),
+    ("Microsoft.Win32", 2),
+    ("System", 12),
+    ("System.CodeDom", 3),
+    ("System.Collections", 3),
+    ("System.Collections.Generic", 4),
+    ("System.Collections.ObjectModel", 1),
+    ("System.Collections.Specialized", 2),
+    ("System.ComponentModel", 8),
+    ("System.ComponentModel.DataAnnotations", 2),
+    ("System.ComponentModel.Design", 4),
+    ("System.Configuration", 5),
+    ("System.Data", 8),
+    ("System.Data.Common", 4),
+    ("System.Data.Linq", 2),
+    ("System.Data.SqlClient", 3),
+    ("System.Diagnostics", 6),
+    ("System.DirectoryServices", 4),
+    ("System.Drawing", 6),
+    ("System.Drawing.Drawing2D", 2),
+    ("System.Drawing.Imaging", 2),
+    ("System.Drawing.Printing", 2),
+    ("System.Dynamic", 1),
+    ("System.EnterpriseServices", 3),
+    ("System.Globalization", 3),
+    ("System.IO", 6),
+    ("System.IO.Compression", 1),
+    ("System.IO.Pipes", 1),
+    ("System.IO.Ports", 1),
+    ("System.Linq", 3),
+    ("System.Linq.Expressions", 2),
+    ("System.Management", 3),
+    ("System.Messaging", 3),
+    ("System.Net", 6),
+    ("System.Net.Mail", 2),
+    ("System.Net.NetworkInformation", 2),
+    ("System.Net.Security", 1),
+    ("System.Net.Sockets", 2),
+    ("System.Numerics", 1),
+    ("System.Printing", 4),
+    ("System.Reflection", 5),
+    ("System.Reflection.Emit", 3),
+    ("System.Resources", 2),
+    ("System.Runtime.Caching", 1),
+    ("System.Runtime.CompilerServices", 3),
+    ("System.Runtime.InteropServices", 6),
+    ("System.Runtime.Remoting", 4),
+    ("System.Runtime.Serialization", 4),
+    ("System.Security", 3),
+    ("System.Security.AccessControl", 3),
+    ("System.Security.Cryptography", 7),
+    ("System.Security.Permissions", 3),
+    ("System.Security.Policy", 3),
+    ("System.Security.Principal", 1),
+    ("System.ServiceModel", 8),
+    ("System.ServiceModel.Channels", 5),
+    ("System.ServiceModel.Description", 3),
+    ("System.ServiceProcess", 1),
+    ("System.Speech.Recognition", 3),
+    ("System.Speech.Synthesis", 2),
+    ("System.Text", 2),
+    ("System.Text.RegularExpressions", 1),
+    ("System.Threading", 4),
+    ("System.Threading.Tasks", 2),
+    ("System.Timers", 1),
+    ("System.Transactions", 2),
+    ("System.Web", 8),
+    ("System.Web.Caching", 1),
+    ("System.Web.Compilation", 2),
+    ("System.Web.Configuration", 3),
+    ("System.Web.Hosting", 2),
+    ("System.Web.Mvc", 4),
+    ("System.Web.Profile", 1),
+    ("System.Web.Routing", 1),
+    ("System.Web.Security", 2),
+    ("System.Web.Services", 3),
+    ("System.Web.SessionState", 1),
+    ("System.Web.UI", 8),
+    ("System.Web.UI.HtmlControls", 2),
+    ("System.Web.UI.WebControls", 10),
+    ("System.Windows", 6),
+    ("System.Windows.Controls", 8),
+    ("System.Windows.Data", 2),
+    ("System.Windows.Documents", 4),
+    ("System.Windows.Forms", 14),
+    ("System.Windows.Input", 4),
+    ("System.Windows.Media", 8),
+    ("System.Windows.Navigation", 1),
+    ("System.Windows.Shapes", 1),
+    ("System.Windows.Threading", 1),
+    ("System.Xml", 6),
+    ("System.Xml.Linq", 2),
+    ("System.Xml.Schema", 3),
+    ("System.Xml.Serialization", 3),
+    ("System.Xml.XPath", 1),
+    ("System.Xml.Xsl", 1),
+)
+
+_PREFIX_STEMS = (
+    "Abstract", "Active", "Array", "Async", "Atomic", "Base", "Basic",
+    "Binary", "Bound", "Buffered", "Cached", "Channel", "Checked", "Client",
+    "Composite", "Concurrent", "Config", "Custom", "Data", "Default",
+    "Deferred", "Delegating", "Digest", "Direct", "Dynamic", "Enhanced",
+    "Extended", "File", "Filtered", "Generic", "Global", "Graphic", "Hash",
+    "Html", "Http", "Indexed", "Inline", "Input", "Keyed", "Layered",
+    "Lazy", "Linked", "Local", "Managed", "Mapped", "Memory", "Message",
+    "Meta", "Multi", "Named", "Native", "Nested", "Network", "Object",
+    "Output", "Packed", "Paged", "Parallel", "Persistent", "Pooled",
+    "Prepared", "Print", "Property", "Protocol", "Proxy", "Queued",
+    "Random", "Raw", "Registered", "Remote", "Routed", "Runtime", "Scoped",
+    "Secure", "Serial", "Service", "Shared", "Signed", "Simple", "Socket",
+    "Sorted", "Sql", "Stream", "Strong", "Style", "Synch", "System",
+    "Table", "Task", "Text", "Thread", "Timed", "Transient", "Tree",
+    "Typed", "Unified", "Url", "User", "Value", "Virtual", "Weak", "Xml",
+)
+
+_CORE_STEMS = (
+    "Access", "Action", "Adapter", "Address", "Attribute", "Binding",
+    "Block", "Buffer", "Builder", "Bundle", "Cache", "Callback", "Cell",
+    "Chain", "Change", "Channel", "Chunk", "Codec", "Collection", "Column",
+    "Command", "Component", "Connection", "Content", "Context", "Control",
+    "Credential", "Cursor", "Decoder", "Descriptor", "Dispatch", "Document",
+    "Element", "Encoder", "Engine", "Entry", "Event", "Field", "Filter",
+    "Format", "Frame", "Gradient", "Graph", "Group", "Header", "Image",
+    "Index", "Info", "Item", "Key", "Label", "Layout", "Lease", "Line",
+    "Link", "List", "Lock", "Member", "Menu", "Model", "Module", "Monitor",
+    "Node", "Notification", "Operation", "Option", "Packet", "Page",
+    "Panel", "Parameter", "Part", "Path", "Pattern", "Permission", "Pipe",
+    "Point", "Policy", "Port", "Query", "Queue", "Range", "Record",
+    "Reference", "Region", "Registry", "Request", "Resource", "Response",
+    "Result", "Role", "Route", "Row", "Rule", "Schema", "Scope", "Segment",
+    "Selector", "Session", "Set", "Shape", "Slot", "Source", "State",
+    "Statement", "Store", "Stroke", "Style", "Target", "Template", "Ticket",
+    "Timer", "Token", "Track", "Transfer", "Transform", "Unit", "View",
+    "Window", "Zone",
+)
+
+_CLASS_SUFFIXES = (
+    "", "Adapter", "Builder", "Context", "Descriptor", "Entry", "Factory",
+    "Handler", "Helper", "Impl", "Info", "Manager", "Map", "Model",
+    "Provider", "Reader", "Registry", "Set", "Spec", "Support", "Util",
+    "Validator", "Writer",
+)
+
+_INTERFACE_SUFFIXES = ("Listener", "Handler", "Callback", "Visitor", "Aware")
+_EXCEPTION_SUFFIXES = ("Exception", "Error")
+
+
+class NameFactory:
+    """Yields unique ``(namespace, class name)`` pairs deterministically.
+
+    ``rng`` is a ``random.Random`` owned by the caller so that the whole
+    catalog synthesis shares one seeded stream.
+    """
+
+    def __init__(self, packages, rng):
+        self._rng = rng
+        self._packages = [name for name, __ in packages]
+        self._weights = [weight for __, weight in packages]
+        self._used = set()
+
+    def reserve(self, namespace, name):
+        """Mark a hand-picked full name as taken (for the named specials)."""
+        self._used.add(f"{namespace}.{name}")
+
+    def pick_package(self):
+        """Choose a package according to the weight distribution."""
+        return self._rng.choices(self._packages, weights=self._weights, k=1)[0]
+
+    def next_name(self, namespace=None, suffixes=_CLASS_SUFFIXES):
+        """Return a fresh unique ``(namespace, name)`` pair."""
+        rng = self._rng
+        if namespace is None:
+            namespace = self.pick_package()
+        for __ in range(1000):
+            parts = [rng.choice(_PREFIX_STEMS)] if rng.random() < 0.75 else []
+            parts.append(rng.choice(_CORE_STEMS))
+            suffix = rng.choice(suffixes)
+            if suffix:
+                parts.append(suffix)
+            name = "".join(parts)
+            if f"{namespace}.{name}" not in self._used:
+                self._used.add(f"{namespace}.{name}")
+                return namespace, name
+            # Collision: widen the space with a second core stem.
+            parts.insert(1, rng.choice(_CORE_STEMS))
+            name = "".join(parts)
+            if f"{namespace}.{name}" not in self._used:
+                self._used.add(f"{namespace}.{name}")
+                return namespace, name
+        raise RuntimeError("name space exhausted; widen the stem tables")
+
+    def next_class_name(self, namespace=None):
+        """Fresh name suitable for a concrete class."""
+        return self.next_name(namespace, _CLASS_SUFFIXES)
+
+    def next_interface_name(self, namespace=None):
+        """Fresh name suitable for an interface."""
+        return self.next_name(namespace, _INTERFACE_SUFFIXES)
+
+    def next_throwable_name(self, namespace=None):
+        """Fresh name suitable for a Throwable subclass."""
+        return self.next_name(namespace, _EXCEPTION_SUFFIXES)

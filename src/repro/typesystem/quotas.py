@@ -1,0 +1,142 @@
+"""Calibration quotas for catalog synthesis.
+
+The paper reports exact population counts (services generated, services
+deployable per framework, per-bug failure counts).  These dataclasses pin
+those targets; :mod:`repro.typesystem.java` and
+:mod:`repro.typesystem.dotnet` synthesize catalogs whose *structural*
+traits make the frameworks' honest binding rules land exactly on them.
+
+All numbers trace to the paper:
+
+* §III.A.c — 3,971 Java and 14,082 C# classes harvested.
+* §III.B.a — 2,489 (GlassFish), 2,248 (JBoss AS), 2,502 (IIS) deployable.
+* §IV.B.3  — 477 + 412 Axis1 compilation failures on throwable types;
+  Axis2 failures on ``XMLGregorianCalendar``; 4 VB.NET WebControls
+  collisions; per-table JScript failure counts.
+* Table III — WS-I failure populations (2 / 4 / 80) and footnotes a)–h).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JavaCatalogQuotas:
+    """Targets for the Java SE 7 catalog."""
+
+    #: Total public types harvested from the API documentation.
+    total: int = 3971
+    #: Types a JAXB-style binder (Metro) accepts — the GlassFish count.
+    metro_bindable: int = 2489
+    #: Types JBossWS-CXF deploys (subset of Metro's, plus the two
+    #: async-handle interfaces it wrongly accepts).
+    jbossws_bindable: int = 2248
+    #: Throwable-derived types in the whole catalog.
+    throwable_total: int = 520
+    #: Throwable-derived types among Metro-bindable ones (Axis1's 477).
+    throwable_metro: int = 477
+    #: Throwable-derived types among JBossWS-deployable ones (Axis1's 412).
+    throwable_jbossws: int = 412
+    #: Bindable types whose bean shape breaks the JScript generator.
+    script_unfriendly: int = 50
+    #: Random seed for deterministic synthesis.
+    seed: int = 20140614
+
+    def validate(self):
+        """Raise ``ValueError`` if the quota set is internally impossible."""
+        shared = self.jbossws_bindable - 2  # minus the async-handle pair
+        if shared > self.metro_bindable:
+            raise ValueError("JBossWS-deployable types must nest inside Metro's")
+        if self.throwable_metro > self.metro_bindable:
+            raise ValueError("more bindable throwables than bindable types")
+        if self.throwable_jbossws > self.throwable_metro:
+            raise ValueError("JBossWS throwables must nest inside Metro's")
+        if self.throwable_total < self.throwable_metro:
+            raise ValueError("total throwables below the bindable count")
+        if self.script_unfriendly > shared:
+            raise ValueError("script-unfriendly quota exceeds shared pool")
+        non_bindable = self.total - self.metro_bindable - 2
+        if non_bindable < 0:
+            raise ValueError("catalog too small for the bindable quota")
+
+
+@dataclass(frozen=True)
+class DotNetCatalogQuotas:
+    """Targets for the .NET Framework catalog."""
+
+    #: Total public types harvested from the API documentation.
+    total: int = 14082
+    #: Types WCF can describe — the IIS count.
+    wcf_bindable: int = 2502
+    #: DataSet-style types whose WSDL uses ``ref="s:schema"``
+    #: (76 of the 80 WS-I-failing services; §IV.B.2 body text).
+    dataset_schema_ref: int = 76
+    #: DataSet-style types whose schema also carries a keyref constraint
+    #: (the 13 gSOAP generation failures).
+    schema_keyref: int = 13
+    #: DataSet-style types with a self-recursive schema reference
+    #: (the single suds failure).
+    recursive_schema_ref: int = 1
+    #: Types referencing ``xml:lang`` without an import — WS-I failing
+    #: but tolerated by every client (the 4 services that reach the end
+    #: of the study error-free; §IV first findings paragraph).
+    xml_lang_attr: int = 4
+    #: Bindable types whose bean shape breaks the JScript generator.
+    script_unfriendly: int = 301
+    #: Subset of the above that crashes the JScript compiler outright.
+    script_crasher: int = 15
+    #: WebControls types with case-colliding members (the 4 VB failures).
+    vb_case_collisions: int = 4
+    #: Random seed for deterministic synthesis.
+    seed: int = 20140615
+
+    def validate(self):
+        """Raise ``ValueError`` if the quota set is internally impossible."""
+        if self.wcf_bindable > self.total:
+            raise ValueError("bindable quota exceeds catalog size")
+        if self.schema_keyref + self.recursive_schema_ref > self.dataset_schema_ref:
+            raise ValueError("keyref/recursive quotas exceed the DataSet pool")
+        if self.script_crasher > self.script_unfriendly:
+            raise ValueError("crasher quota exceeds script-unfriendly pool")
+        specials = (
+            self.dataset_schema_ref
+            + self.xml_lang_attr
+            + self.script_unfriendly
+            + self.vb_case_collisions
+        )
+        if specials > self.wcf_bindable:
+            raise ValueError("special quotas exceed the bindable pool")
+
+    @property
+    def wsi_failing(self):
+        """Services whose WSDL fails WS-I BP 1.1 (the paper's 80)."""
+        return self.dataset_schema_ref + self.xml_lang_attr
+
+
+DEFAULT_JAVA_QUOTAS = JavaCatalogQuotas()
+DEFAULT_DOTNET_QUOTAS = DotNetCatalogQuotas()
+
+#: Scaled-down quotas for quick demos and fast tests.  They keep every
+#: named special type and one representative of every failure class, so
+#: all quirk code paths stay exercised — only the population shrinks.
+QUICK_JAVA_QUOTAS = JavaCatalogQuotas(
+    total=400,
+    metro_bindable=250,
+    jbossws_bindable=230,
+    throwable_total=60,
+    throwable_metro=48,
+    throwable_jbossws=41,
+    script_unfriendly=5,
+)
+QUICK_DOTNET_QUOTAS = DotNetCatalogQuotas(
+    total=1200,
+    wcf_bindable=250,
+    dataset_schema_ref=20,
+    schema_keyref=4,
+    recursive_schema_ref=1,
+    xml_lang_attr=2,
+    script_unfriendly=30,
+    script_crasher=3,
+    vb_case_collisions=4,
+)

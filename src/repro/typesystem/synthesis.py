@@ -1,0 +1,81 @@
+"""Shared helpers for catalog synthesis (properties, enum values)."""
+
+from __future__ import annotations
+
+from repro.typesystem.model import Property, SimpleType
+
+#: Pool of lowercase bean-property names.  Chosen so no two differ only in
+#: case — accidental collisions would distort the calibrated VB counts.
+PROPERTY_NAMES = (
+    "amount", "anchor", "attributes", "author", "balance", "baseline",
+    "body", "bounds", "buffer", "capacity", "category", "channel",
+    "charset", "checksum", "city", "code", "comment", "content", "count",
+    "created", "currency", "cursor", "depth", "description", "digest",
+    "domain", "duration", "elements", "enabled", "encoding", "expires",
+    "flags", "format", "height", "host", "identifier", "index", "interval",
+    "keys", "kind", "label", "length", "level", "limit", "locale",
+    "location", "marker", "mask", "maximum", "minimum", "mode", "modified",
+    "offset", "opacity", "order", "origin", "owner", "parent", "pattern",
+    "payload", "period", "phase", "port", "position", "prefix", "priority",
+    "quantity", "query", "rank", "rate", "ratio", "reason", "region",
+    "revision", "scale", "scheme", "scope", "score", "sender", "sequence",
+    "size", "source", "status", "subject", "summary", "tag", "target",
+    "timeout", "timestamp", "title", "token", "total", "track", "units",
+    "uptime", "variant", "version", "weight", "width", "zone",
+)
+
+#: Pool of PascalCase enum constant names (no case-only collisions).
+ENUM_VALUE_NAMES = (
+    "Active", "Blocked", "Cancelled", "Closed", "Completed", "Connected",
+    "Created", "Degraded", "Disabled", "Disconnected", "Draft", "Enabled",
+    "Expired", "Failed", "Idle", "Invalid", "Locked", "Merged", "Offline",
+    "Online", "Open", "Paused", "Pending", "Queued", "Ready", "Rejected",
+    "Removed", "Resolved", "Retired", "Running", "Sealed", "Skipped",
+    "Started", "Stopped", "Suspended", "Timeout", "Unknown", "Verified",
+)
+
+_VALUE_TYPES = (
+    SimpleType.STRING,
+    SimpleType.STRING,  # strings dominate real bean shapes
+    SimpleType.INT,
+    SimpleType.LONG,
+    SimpleType.BOOLEAN,
+    SimpleType.DOUBLE,
+    SimpleType.FLOAT,
+    SimpleType.DATETIME,
+    SimpleType.DECIMAL,
+    SimpleType.BYTES,
+    SimpleType.URI,
+    SimpleType.SHORT,
+)
+
+
+def synth_properties(rng, minimum=1, maximum=6):
+    """Synthesize a tuple of distinct bean properties."""
+    count = rng.randint(minimum, maximum)
+    names = rng.sample(PROPERTY_NAMES, count)
+    properties = []
+    for name in names:
+        properties.append(
+            Property(
+                name,
+                rng.choice(_VALUE_TYPES),
+                is_array=rng.random() < 0.12,
+            )
+        )
+    return tuple(properties)
+
+
+def synth_enum_values(rng, minimum=3, maximum=8):
+    """Synthesize a tuple of distinct enum constant names."""
+    count = rng.randint(minimum, maximum)
+    return tuple(rng.sample(ENUM_VALUE_NAMES, count))
+
+
+def throwable_properties():
+    """The bean shape every Throwable-derived type exposes."""
+    return (
+        Property("message", SimpleType.STRING),
+        Property("localizedMessage", SimpleType.STRING),
+        Property("stackDepth", SimpleType.INT),
+    )

@@ -1,0 +1,25 @@
+"""WSDL 1.1 substrate: model, builder and reader.
+
+Covers the document/literal-wrapped dialect that all three server
+frameworks in the study emit: a ``<types>`` schema, request/response
+messages with a single ``element`` part, one portType, a SOAP 1.1 binding
+and a single-port service.
+"""
+
+from repro.wsdl.errors import WsdlError, WsdlReadError
+from repro.wsdl.model import SoapBindingInfo, SoapOperation, WsdlDocument, WsdlMessage
+from repro.wsdl.builder import build_wsdl_element, serialize_wsdl
+from repro.wsdl.reader import read_wsdl, read_wsdl_text
+
+__all__ = [
+    "SoapBindingInfo",
+    "SoapOperation",
+    "WsdlDocument",
+    "WsdlError",
+    "WsdlMessage",
+    "WsdlReadError",
+    "build_wsdl_element",
+    "read_wsdl",
+    "read_wsdl_text",
+    "serialize_wsdl",
+]

@@ -1,0 +1,150 @@
+"""Render a :class:`~repro.wsdl.model.WsdlDocument` to XML."""
+
+from __future__ import annotations
+
+from repro.xmlcore import (
+    Element,
+    QName,
+    WSDL_NS,
+    WSDL_SOAP_NS,
+    XML_NS,
+    XSD_NS,
+    serialize,
+)
+from repro.xmlcore.names import WSA_NS
+from repro.xsd.builder import build_schema_element
+
+#: Namespace of the JAX-WS customization extension element that the Java
+#: frameworks attach to their WSDLs.
+JAXWS_NS = "http://java.sun.com/xml/ns/jaxws"
+
+_KNOWN_MARKERS = {
+    "jaxws-bindings": (JAXWS_NS, "bindings", "jaxws"),
+    "wcf-metadata": (
+        "http://schemas.microsoft.com/ws/2004/09/policy",
+        "PolicyReference",
+        "wsp",
+    ),
+}
+
+
+def _wsdl(local):
+    return QName(WSDL_NS, local)
+
+
+def _soap(local):
+    return QName(WSDL_SOAP_NS, local)
+
+
+def build_wsdl_element(document):
+    """Build the ``<wsdl:definitions>`` tree for ``document``."""
+    tns = document.target_namespace
+    root = Element(_wsdl("definitions"), prefix_hint="wsdl")
+    root.set(QName("name"), document.name)
+    root.set(QName("targetNamespace"), tns)
+
+    # Pin the prefixes used by QName-valued attribute values.
+    root.set(QName("xmlns:wsdl"), WSDL_NS)
+    root.set(QName("xmlns:soap"), WSDL_SOAP_NS)
+    root.set(QName(f"xmlns:{document.schema_prefix}"), XSD_NS)
+    root.set(QName("xmlns:tns"), tns)
+    prefixes = {
+        XSD_NS: document.schema_prefix,
+        tns: "tns",
+        WSDL_NS: "wsdl",
+        WSDL_SOAP_NS: "soap",
+        XML_NS: "xml",
+    }
+    if _references_wsa(document):
+        root.set(QName("xmlns:wsa"), WSA_NS)
+        prefixes[WSA_NS] = "wsa"
+
+    for marker in document.extension_markers:
+        namespace, local, prefix = _KNOWN_MARKERS.get(
+            marker, (JAXWS_NS, marker, "ext")
+        )
+        root.add_child(Element(QName(namespace, local), prefix_hint=prefix))
+
+    if document.schemas:
+        types = root.add_child(Element(_wsdl("types"), prefix_hint="wsdl"))
+        for schema in document.schemas:
+            types.add_child(
+                build_schema_element(
+                    schema, prefixes, prefix_hint=document.schema_prefix
+                )
+            )
+
+    for message in document.messages:
+        message_el = root.add_child(Element(_wsdl("message"), prefix_hint="wsdl"))
+        message_el.set(QName("name"), message.name)
+        part = message_el.add_child(Element(_wsdl("part"), prefix_hint="wsdl"))
+        part.set(QName("name"), message.part_name)
+        part.set(QName("element"), _render_qname(message.element, prefixes))
+
+    port_type_name = document.port_type_name or f"{document.name}PortType"
+    port_type = root.add_child(Element(_wsdl("portType"), prefix_hint="wsdl"))
+    port_type.set(QName("name"), port_type_name)
+    for operation in document.operations:
+        op_el = port_type.add_child(Element(_wsdl("operation"), prefix_hint="wsdl"))
+        op_el.set(QName("name"), operation.name)
+        input_el = op_el.add_child(Element(_wsdl("input"), prefix_hint="wsdl"))
+        input_el.set(QName("message"), f"tns:{operation.input_message}")
+        output_el = op_el.add_child(Element(_wsdl("output"), prefix_hint="wsdl"))
+        output_el.set(QName("message"), f"tns:{operation.output_message}")
+
+    binding_name = f"{document.name}Binding"
+    binding_el = root.add_child(Element(_wsdl("binding"), prefix_hint="wsdl"))
+    binding_el.set(QName("name"), binding_name)
+    binding_el.set(QName("type"), f"tns:{port_type_name}")
+    soap_binding = binding_el.add_child(Element(_soap("binding"), prefix_hint="soap"))
+    soap_binding.set(QName("style"), document.binding.style)
+    soap_binding.set(QName("transport"), document.binding.transport)
+    for operation in document.operations:
+        op_el = binding_el.add_child(Element(_wsdl("operation"), prefix_hint="wsdl"))
+        op_el.set(QName("name"), operation.name)
+        soap_op = op_el.add_child(Element(_soap("operation"), prefix_hint="soap"))
+        soap_op.set(QName("soapAction"), operation.soap_action)
+        for direction in ("input", "output"):
+            direction_el = op_el.add_child(
+                Element(_wsdl(direction), prefix_hint="wsdl")
+            )
+            body = direction_el.add_child(Element(_soap("body"), prefix_hint="soap"))
+            body.set(QName("use"), document.binding.use)
+
+    service_el = root.add_child(Element(_wsdl("service"), prefix_hint="wsdl"))
+    service_el.set(QName("name"), document.service_name or document.name)
+    port_el = service_el.add_child(Element(_wsdl("port"), prefix_hint="wsdl"))
+    port_el.set(QName("name"), document.port_name or f"{document.name}Port")
+    port_el.set(QName("binding"), f"tns:{binding_name}")
+    address = port_el.add_child(Element(_soap("address"), prefix_hint="soap"))
+    address.set(QName("location"), document.endpoint_url)
+    return root
+
+
+def serialize_wsdl(document, pretty=False):
+    """Serialize ``document`` to WSDL text."""
+    return serialize(build_wsdl_element(document), pretty=pretty)
+
+
+def _render_qname(qname, prefixes):
+    prefix = prefixes.get(qname.namespace)
+    if prefix is None:
+        return qname.local
+    return f"{prefix}:{qname.local}"
+
+
+def _references_wsa(document):
+    """True if any schema references the WS-Addressing namespace."""
+    for schema in document.schemas:
+        for imported in schema.imports:
+            if imported.namespace == WSA_NS:
+                return True
+        for ctype in schema.all_complex_types():
+            for particle in ctype.particles:
+                ref = getattr(particle, "ref", None)
+                if ref is not None and ref.namespace == WSA_NS:
+                    return True
+                type_name = getattr(particle, "type_name", None)
+                if type_name is not None and type_name.namespace == WSA_NS:
+                    return True
+    return False

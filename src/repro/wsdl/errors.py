@@ -1,0 +1,9 @@
+"""Exceptions for the WSDL substrate."""
+
+
+class WsdlError(Exception):
+    """Base class for WSDL-layer errors."""
+
+
+class WsdlReadError(WsdlError):
+    """Raised when an XML tree cannot be interpreted as WSDL 1.1."""

@@ -1,0 +1,80 @@
+"""Data model for WSDL 1.1 documents (document/literal-wrapped dialect)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlcore import SOAP_HTTP_TRANSPORT, QName
+
+
+@dataclass(frozen=True)
+class WsdlMessage:
+    """A ``<wsdl:message>`` with a single ``element``-typed part."""
+
+    name: str
+    part_name: str
+    element: QName
+
+
+@dataclass(frozen=True)
+class SoapOperation:
+    """One portType operation with its SOAP action."""
+
+    name: str
+    input_message: str
+    output_message: str
+    soap_action: str = ""
+
+
+@dataclass(frozen=True)
+class SoapBindingInfo:
+    """The ``<soap:binding>``/``<soap:body>`` parameters."""
+
+    style: str = "document"
+    use: str = "literal"
+    transport: str = SOAP_HTTP_TRANSPORT
+
+
+@dataclass
+class WsdlDocument:
+    """A complete WSDL 1.1 description of one service."""
+
+    name: str
+    target_namespace: str
+    schemas: list = field(default_factory=list)
+    messages: list = field(default_factory=list)
+    operations: list = field(default_factory=list)
+    binding: SoapBindingInfo = field(default_factory=SoapBindingInfo)
+    service_name: str = ""
+    port_name: str = ""
+    endpoint_url: str = ""
+    port_type_name: str = ""
+    #: Names of vendor extension elements carried by the document (e.g.
+    #: ``jaxws-bindings`` for the Java frameworks' customization hooks).
+    extension_markers: tuple = ()
+    #: Prefix to use for the schema namespace when serializing (.NET
+    #: emits ``s:``, the Java frameworks ``xsd:``).
+    schema_prefix: str = "xsd"
+
+    def message(self, name):
+        """Message named ``name``, or ``None``."""
+        for message in self.messages:
+            if message.name == name:
+                return message
+        return None
+
+    def schema_for(self, namespace):
+        """First schema whose target namespace is ``namespace``."""
+        for schema in self.schemas:
+            if schema.target_namespace == namespace:
+                return schema
+        return None
+
+    def global_element(self, qname):
+        """Resolve a global element declaration across all schemas."""
+        for schema in self.schemas:
+            if schema.target_namespace == qname.namespace:
+                decl = schema.element(qname.local)
+                if decl is not None:
+                    return decl
+        return None

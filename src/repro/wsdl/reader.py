@@ -1,0 +1,138 @@
+"""Read a WSDL 1.1 element tree back into :class:`WsdlDocument`.
+
+Like the schema reader, this is lenient: structure is loaded as-is
+(including portTypes with zero operations and schemas with dangling
+references), and per-framework validation happens in the client models.
+"""
+
+from __future__ import annotations
+
+from repro.wsdl.builder import _KNOWN_MARKERS
+from repro.wsdl.errors import WsdlReadError
+from repro.wsdl.model import SoapBindingInfo, SoapOperation, WsdlDocument, WsdlMessage
+from repro.xmlcore import QName, WSDL_NS, WSDL_SOAP_NS, XSD_NS, parse
+from repro.xsd.reader import read_schema
+
+_MARKER_BY_QNAME = {
+    (namespace, local): marker
+    for marker, (namespace, local, __) in _KNOWN_MARKERS.items()
+}
+
+
+def read_wsdl_text(text):
+    """Parse WSDL ``text`` and return a :class:`WsdlDocument`."""
+    return read_wsdl(parse(text))
+
+
+def read_wsdl(root):
+    """Interpret ``root`` (a ``<wsdl:definitions>``) as a document."""
+    if root.name != QName(WSDL_NS, "definitions"):
+        raise WsdlReadError(f"not a WSDL definitions element: {root.name.text()}")
+    target_namespace = root.get(QName("targetNamespace"))
+    if not target_namespace:
+        raise WsdlReadError("definitions element lacks a targetNamespace")
+
+    document = WsdlDocument(
+        name=root.get(QName("name"), ""),
+        target_namespace=target_namespace,
+    )
+
+    markers = []
+    for child in root.children:
+        marker = _MARKER_BY_QNAME.get((child.name.namespace, child.name.local))
+        if marker is not None:
+            markers.append(marker)
+    document.extension_markers = tuple(markers)
+
+    types_el = root.find(QName(WSDL_NS, "types"))
+    if types_el is not None:
+        schema_prefix = "xsd"
+        for schema_el in types_el.find_all(QName(XSD_NS, "schema")):
+            if schema_el.prefix_hint:
+                schema_prefix = schema_el.prefix_hint
+            document.schemas.append(read_schema(schema_el))
+        document.schema_prefix = schema_prefix
+
+    for message_el in root.find_all(QName(WSDL_NS, "message")):
+        part_el = message_el.find(QName(WSDL_NS, "part"))
+        if part_el is None:
+            continue
+        element_ref = part_el.get(QName("element"))
+        if element_ref is None:
+            raise WsdlReadError(
+                f"message {message_el.get(QName('name'))!r} part is not element-typed"
+            )
+        document.messages.append(
+            WsdlMessage(
+                name=message_el.get(QName("name"), ""),
+                part_name=part_el.get(QName("name"), ""),
+                element=part_el.resolve_qname_value(
+                    element_ref, default_namespace=target_namespace
+                ),
+            )
+        )
+
+    port_type_el = root.find(QName(WSDL_NS, "portType"))
+    soap_actions = _read_soap_actions(root)
+    if port_type_el is not None:
+        document.port_type_name = port_type_el.get(QName("name"), "")
+        for op_el in port_type_el.find_all(QName(WSDL_NS, "operation")):
+            name = op_el.get(QName("name"), "")
+            document.operations.append(
+                SoapOperation(
+                    name=name,
+                    input_message=_message_local(op_el, "input"),
+                    output_message=_message_local(op_el, "output"),
+                    soap_action=soap_actions.get(name, ""),
+                )
+            )
+
+    document.binding = _read_binding(root)
+
+    service_el = root.find(QName(WSDL_NS, "service"))
+    if service_el is not None:
+        document.service_name = service_el.get(QName("name"), "")
+        port_el = service_el.find(QName(WSDL_NS, "port"))
+        if port_el is not None:
+            document.port_name = port_el.get(QName("name"), "")
+            address = port_el.find(QName(WSDL_SOAP_NS, "address"))
+            if address is not None:
+                document.endpoint_url = address.get(QName("location"), "")
+    return document
+
+
+def _message_local(op_el, direction):
+    direction_el = op_el.find(QName(WSDL_NS, direction))
+    if direction_el is None:
+        return ""
+    message = direction_el.get(QName("message"), "")
+    return message.partition(":")[2] or message
+
+
+def _read_binding(root):
+    binding_el = root.find(QName(WSDL_NS, "binding"))
+    if binding_el is None:
+        return SoapBindingInfo()
+    soap_binding = binding_el.find(QName(WSDL_SOAP_NS, "binding"))
+    style = "document"
+    transport = ""
+    if soap_binding is not None:
+        style = soap_binding.get(QName("style"), "document")
+        transport = soap_binding.get(QName("transport"), "")
+    use = "literal"
+    for body in binding_el.iter_named(QName(WSDL_SOAP_NS, "body")):
+        use = body.get(QName("use"), "literal")
+        break
+    return SoapBindingInfo(style=style, use=use, transport=transport)
+
+
+def _read_soap_actions(root):
+    actions = {}
+    binding_el = root.find(QName(WSDL_NS, "binding"))
+    if binding_el is None:
+        return actions
+    for op_el in binding_el.find_all(QName(WSDL_NS, "operation")):
+        soap_op = op_el.find(QName(WSDL_SOAP_NS, "operation"))
+        if soap_op is not None:
+            actions[op_el.get(QName("name"), "")] = soap_op.get(QName("soapAction"), "")
+    return actions

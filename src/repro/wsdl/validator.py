@@ -1,0 +1,100 @@
+"""Internal-consistency validation of WSDL documents.
+
+Distinct from the WS-I profile checker: this validator enforces the
+WSDL 1.1 spec's *structural* rules (unique message names, resolvable
+message references, a binding that matches the portType, a port that
+references the binding).  Server models are expected to emit documents
+that pass it — except for the deliberate pathologies, which live in the
+*schema* layer and are exactly what this validator does not judge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One structural problem in a WSDL document."""
+
+    code: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.code}] {self.message}"
+
+
+def validate_wsdl(document):
+    """Return the list of structural issues in ``document``."""
+    issues = []
+
+    if not document.target_namespace:
+        issues.append(
+            ValidationIssue("no-tns", "definitions lacks a targetNamespace")
+        )
+
+    seen_messages = set()
+    for message in document.messages:
+        if message.name in seen_messages:
+            issues.append(
+                ValidationIssue(
+                    "duplicate-message", f"message {message.name!r} defined twice"
+                )
+            )
+        seen_messages.add(message.name)
+        if not message.part_name:
+            issues.append(
+                ValidationIssue(
+                    "nameless-part", f"message {message.name!r} part has no name"
+                )
+            )
+
+    seen_operations = set()
+    for operation in document.operations:
+        if operation.name in seen_operations:
+            issues.append(
+                ValidationIssue(
+                    "duplicate-operation",
+                    f"operation {operation.name!r} declared twice",
+                )
+            )
+        seen_operations.add(operation.name)
+        for direction, name in (
+            ("input", operation.input_message),
+            ("output", operation.output_message),
+        ):
+            if name and name not in seen_messages:
+                issues.append(
+                    ValidationIssue(
+                        "dangling-message-ref",
+                        f"operation {operation.name!r} {direction} references "
+                        f"missing message {name!r}",
+                    )
+                )
+
+    if document.operations and not document.binding.transport:
+        issues.append(
+            ValidationIssue("no-soap-binding", "binding has no soap:binding")
+        )
+
+    if document.service_name and not document.port_name:
+        issues.append(
+            ValidationIssue("no-port", "service declares no port")
+        )
+
+    for message in document.messages:
+        if document.global_element(message.element) is None:
+            issues.append(
+                ValidationIssue(
+                    "dangling-part-element",
+                    f"message {message.name!r} part references undeclared "
+                    f"element {message.element.text()}",
+                )
+            )
+
+    return issues
+
+
+def is_structurally_valid(document):
+    """True when :func:`validate_wsdl` finds nothing."""
+    return not validate_wsdl(document)

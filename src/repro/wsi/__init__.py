@@ -1,0 +1,26 @@
+"""WS-I Basic Profile 1.1 conformance analyzer.
+
+The paper runs the WS-I test tool over every generated WSDL after the
+Service Description Generation step (§III.B.d).  This package implements
+the assertion families that the study's findings hinge on: SOAP binding
+discipline, document/literal use, schema reference resolvability, and the
+"portType should expose at least one operation" advisory the authors
+argue for in §IV.A.
+
+Assertion identifiers follow the BP 1.1 naming style (``BPxxxx``); the
+subset and exact texts are ours.
+"""
+
+from repro.wsi.model import AssertionOutcome, ConformanceReport, Severity
+from repro.wsi.analyzer import BasicProfileAnalyzer, check_document
+from repro.wsi.report import parse_report_xml, render_report_xml
+
+__all__ = [
+    "AssertionOutcome",
+    "BasicProfileAnalyzer",
+    "ConformanceReport",
+    "Severity",
+    "check_document",
+    "parse_report_xml",
+    "render_report_xml",
+]

@@ -1,0 +1,291 @@
+"""Assertion checks over a :class:`~repro.wsdl.model.WsdlDocument`."""
+
+from __future__ import annotations
+
+from repro.wsi.model import AssertionOutcome, ConformanceReport, Severity
+from repro.xmlcore import SOAP_HTTP_TRANSPORT, XML_NS, XSD_NS
+from repro.xsd.model import AnyParticle, ElementParticle, RefParticle
+
+
+class BasicProfileAnalyzer:
+    """Checks a WSDL document against the implemented BP 1.1 subset."""
+
+    def __init__(self):
+        self._assertions = (
+            ("BP2019", self._check_target_namespace),
+            ("BP2701", self._check_soap_binding_present),
+            ("BP2702", self._check_transport),
+            ("BP2705", self._check_style),
+            ("BP2706", self._check_literal_use),
+            ("BP2201", self._check_operation_messages),
+            ("BP2304", self._check_unique_operations),
+            ("BP2010", self._check_port_type_not_empty),
+            ("BP2104", self._check_imports_locatable),
+            ("BP2105", self._check_element_refs),
+            ("BP2110", self._check_attribute_refs),
+            ("BP2120", self._check_attribute_uniqueness),
+            ("BP2113", self._check_attribute_types),
+            ("BP2202", self._check_message_elements_resolve),
+            ("BP2804", self._check_endpoint_address),
+            ("BP2032", self._check_wrapper_naming),
+            ("BP2406", self._check_address_uri),
+            ("BP2115", self._check_schema_target_namespaces),
+        )
+
+    @property
+    def assertion_count(self):
+        return len(self._assertions)
+
+    def check(self, document):
+        """Run every assertion; return a :class:`ConformanceReport`."""
+        report = ConformanceReport(
+            subject=document.name, assertions_checked=self.assertion_count
+        )
+        for assertion_id, check in self._assertions:
+            for severity, message, target in check(document):
+                report.violations.append(
+                    AssertionOutcome(assertion_id, severity, message, target)
+                )
+        return report
+
+    # -- WSDL-level assertions ---------------------------------------------
+
+    def _check_target_namespace(self, document):
+        tns = document.target_namespace or ""
+        if "://" not in tns and not tns.startswith("urn:"):
+            yield (
+                Severity.FAILURE,
+                f"targetNamespace {tns!r} is not an absolute URI",
+                "definitions",
+            )
+
+    def _check_soap_binding_present(self, document):
+        if not document.binding.transport and document.operations:
+            yield (
+                Severity.FAILURE,
+                "binding carries no soap:binding extension",
+                "binding",
+            )
+
+    def _check_transport(self, document):
+        transport = document.binding.transport
+        if transport and transport != SOAP_HTTP_TRANSPORT:
+            yield (
+                Severity.FAILURE,
+                f"soap:binding transport must be SOAP-over-HTTP, got {transport!r}",
+                "binding",
+            )
+
+    def _check_style(self, document):
+        if document.binding.style not in ("document", "rpc"):
+            yield (
+                Severity.FAILURE,
+                f"invalid binding style {document.binding.style!r}",
+                "binding",
+            )
+
+    def _check_literal_use(self, document):
+        if document.binding.use != "literal":
+            yield (
+                Severity.FAILURE,
+                f'soap:body use must be "literal", got {document.binding.use!r}',
+                "binding",
+            )
+
+    def _check_operation_messages(self, document):
+        names = {message.name for message in document.messages}
+        for operation in document.operations:
+            for message_name in (operation.input_message, operation.output_message):
+                if message_name and message_name not in names:
+                    yield (
+                        Severity.FAILURE,
+                        f"operation {operation.name!r} references missing message "
+                        f"{message_name!r}",
+                        f"portType/{operation.name}",
+                    )
+
+    def _check_unique_operations(self, document):
+        seen = set()
+        for operation in document.operations:
+            if operation.name in seen:
+                yield (
+                    Severity.FAILURE,
+                    f"overloaded operation name {operation.name!r}",
+                    f"portType/{operation.name}",
+                )
+            seen.add(operation.name)
+
+    def _check_port_type_not_empty(self, document):
+        if not document.operations:
+            yield (
+                Severity.ADVISORY,
+                "portType declares no operations; clients cannot invoke "
+                "anything (schema permits this — see paper §IV.A)",
+                "portType",
+            )
+
+    def _check_endpoint_address(self, document):
+        if document.service_name and not document.endpoint_url:
+            yield (
+                Severity.FAILURE,
+                "service port carries no soap:address location",
+                "service",
+            )
+
+    def _check_wrapper_naming(self, document):
+        for operation in document.operations:
+            message = document.message(operation.input_message)
+            if message is None:
+                continue
+            if message.element.local != operation.name:
+                yield (
+                    Severity.ADVISORY,
+                    f"document-literal wrapper {message.element.local!r} does not "
+                    f"match operation name {operation.name!r}",
+                    f"portType/{operation.name}",
+                )
+
+    def _check_message_elements_resolve(self, document):
+        for message in document.messages:
+            if document.global_element(message.element) is None:
+                yield (
+                    Severity.FAILURE,
+                    f"message {message.name!r} part references undeclared element "
+                    f"{message.element.text()}",
+                    f"message/{message.name}",
+                )
+
+    def _check_address_uri(self, document):
+        url = document.endpoint_url
+        if url and not url.startswith(("http://", "https://")):
+            yield (
+                Severity.FAILURE,
+                f"soap:address location {url!r} is not an absolute HTTP URI",
+                "service",
+            )
+
+    def _check_schema_target_namespaces(self, document):
+        for schema in document.schemas:
+            declares = schema.elements or schema.complex_types or schema.simple_types
+            if declares and not schema.target_namespace:
+                yield (
+                    Severity.FAILURE,
+                    "schema declares components without a targetNamespace",
+                    "types",
+                )
+
+    # -- schema-level assertions ---------------------------------------------
+
+    def _check_imports_locatable(self, document):
+        for schema in document.schemas:
+            for imported in schema.imports:
+                if imported.location is None:
+                    yield (
+                        Severity.FAILURE,
+                        f"xsd:import of {imported.namespace!r} has no "
+                        "schemaLocation and cannot be resolved",
+                        "types",
+                    )
+
+    def _iter_particles(self, document):
+        for schema in document.schemas:
+            for ctype in schema.all_complex_types():
+                for particle in ctype.particles:
+                    yield schema, ctype, particle
+
+    def _check_element_refs(self, document):
+        for schema, ctype, particle in self._iter_particles(document):
+            if not isinstance(particle, RefParticle):
+                continue
+            ref = particle.ref
+            if ref.namespace == XSD_NS:
+                yield (
+                    Severity.FAILURE,
+                    f"reference to undeclarable element {ref.local!r} in the "
+                    "XML Schema namespace (schema-in-instance idiom)",
+                    "types",
+                )
+            elif ref.namespace == schema.target_namespace:
+                if schema.element(ref.local) is None:
+                    yield (
+                        Severity.FAILURE,
+                        f"dangling element reference {ref.text()}",
+                        "types",
+                    )
+            else:
+                imported = {item.namespace for item in schema.imports}
+                if ref.namespace not in imported:
+                    yield (
+                        Severity.FAILURE,
+                        f"element reference {ref.text()} targets a namespace "
+                        "that is never imported",
+                        "types",
+                    )
+
+    def _check_attribute_refs(self, document):
+        for schema in document.schemas:
+            imported = {item.namespace for item in schema.imports}
+            for ctype in schema.all_complex_types():
+                for attribute in ctype.attributes:
+                    ref = attribute.ref
+                    if ref is None or ref.namespace is None:
+                        continue
+                    if ref.namespace == XML_NS and XML_NS not in imported:
+                        yield (
+                            Severity.FAILURE,
+                            "attribute references xml:lang without importing "
+                            "the XML namespace schema",
+                            "types",
+                        )
+                    elif (
+                        ref.namespace not in (XML_NS, schema.target_namespace)
+                        and ref.namespace not in imported
+                    ):
+                        yield (
+                            Severity.FAILURE,
+                            f"attribute reference {ref.text()} targets a "
+                            "namespace that is never imported",
+                            "types",
+                        )
+
+    def _check_attribute_uniqueness(self, document):
+        for schema in document.schemas:
+            for ctype in schema.all_complex_types():
+                seen = set()
+                for attribute in ctype.attributes:
+                    name = attribute.name
+                    if name is None:
+                        continue
+                    if name in seen:
+                        yield (
+                            Severity.FAILURE,
+                            f"complex type {ctype.name or '(anonymous)'} declares "
+                            f"attribute {name!r} more than once",
+                            "types",
+                        )
+                    seen.add(name)
+
+    def _check_attribute_types(self, document):
+        for schema in document.schemas:
+            for ctype in schema.all_complex_types():
+                for attribute in ctype.attributes:
+                    type_name = attribute.type_name
+                    if (
+                        type_name is not None
+                        and type_name.namespace == XSD_NS
+                        and type_name.local == "NOTATION"
+                    ):
+                        yield (
+                            Severity.FAILURE,
+                            "attribute typed xsd:NOTATION without an "
+                            "enumeration facet is not a valid schema",
+                            "types",
+                        )
+
+
+_DEFAULT_ANALYZER = BasicProfileAnalyzer()
+
+
+def check_document(document):
+    """Check ``document`` with the default analyzer."""
+    return _DEFAULT_ANALYZER.check(document)

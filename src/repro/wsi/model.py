@@ -1,0 +1,66 @@
+"""Result model for WS-I conformance checks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Outcome severity of one assertion violation.
+
+    ``FAILURE`` means the document does not pass the profile check;
+    ``ADVISORY`` flags an interoperability risk the profile permits
+    (the paper's empty-portType case).
+    """
+
+    FAILURE = "failure"
+    ADVISORY = "advisory"
+
+
+@dataclass(frozen=True)
+class AssertionOutcome:
+    """One violated assertion."""
+
+    assertion_id: str
+    severity: Severity
+    message: str
+    target: str = ""
+
+    def __str__(self):
+        return f"[{self.assertion_id}] {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate result of checking one WSDL document."""
+
+    subject: str
+    violations: list = field(default_factory=list)
+    assertions_checked: int = 0
+
+    @property
+    def failures(self):
+        return [v for v in self.violations if v.severity is Severity.FAILURE]
+
+    @property
+    def advisories(self):
+        return [v for v in self.violations if v.severity is Severity.ADVISORY]
+
+    @property
+    def conformant(self):
+        """True if the document passes the profile (no failures)."""
+        return not self.failures
+
+    @property
+    def clean(self):
+        """True if there are neither failures nor advisories."""
+        return not self.violations
+
+    def summary(self):
+        status = "PASS" if self.conformant else "FAIL"
+        return (
+            f"{self.subject}: {status} "
+            f"({len(self.failures)} failures, {len(self.advisories)} advisories, "
+            f"{self.assertions_checked} assertions checked)"
+        )

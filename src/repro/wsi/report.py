@@ -1,0 +1,59 @@
+"""Render and parse WS-I conformance reports as XML.
+
+The real WS-I test tool produced XML report files; this module renders
+our :class:`~repro.wsi.model.ConformanceReport` in a comparable shape
+(a ``report`` document with one ``assertionResult`` per violation) and
+reads them back — so conformance results can be archived alongside the
+campaign output the way the study's artifact site did.
+"""
+
+from __future__ import annotations
+
+from repro.wsi.model import AssertionOutcome, ConformanceReport, Severity
+from repro.xmlcore import Element, QName, parse, serialize
+
+#: Namespace of our report documents (styled after the WS-I tool's).
+REPORT_NS = "http://wsinterop.test/conformance/report"
+
+
+def _el(local):
+    return QName(REPORT_NS, local)
+
+
+def render_report_xml(report, pretty=True):
+    """Serialize ``report`` to XML text."""
+    root = Element(_el("report"), prefix_hint="rep")
+    root.set(QName("subject"), report.subject)
+    root.set(QName("assertionsChecked"), str(report.assertions_checked))
+    root.set(
+        QName("result"), "passed" if report.conformant else "failed"
+    )
+    for violation in report.violations:
+        item = root.add_child(Element(_el("assertionResult"), prefix_hint="rep"))
+        item.set(QName("id"), violation.assertion_id)
+        item.set(QName("severity"), violation.severity.value)
+        if violation.target:
+            item.set(QName("target"), violation.target)
+        item.add_text(violation.message)
+    return serialize(root, pretty=pretty)
+
+
+def parse_report_xml(text):
+    """Parse XML produced by :func:`render_report_xml`."""
+    root = parse(text)
+    if root.name != _el("report"):
+        raise ValueError(f"not a conformance report: {root.name.text()}")
+    report = ConformanceReport(
+        subject=root.get(QName("subject"), ""),
+        assertions_checked=int(root.get(QName("assertionsChecked"), "0")),
+    )
+    for item in root.find_all(_el("assertionResult")):
+        report.violations.append(
+            AssertionOutcome(
+                assertion_id=item.get(QName("id"), ""),
+                severity=Severity(item.get(QName("severity"), "failure")),
+                message=item.text,
+                target=item.get(QName("target"), ""),
+            )
+        )
+    return report

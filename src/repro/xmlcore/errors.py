@@ -1,0 +1,26 @@
+"""Exception hierarchy for the XML substrate."""
+
+
+class XmlError(Exception):
+    """Base class for all XML substrate errors."""
+
+
+class XmlParseError(XmlError):
+    """Raised when a document cannot be parsed.
+
+    Carries the character ``position`` (0-based offset into the input) and
+    the 1-based ``line``/``column`` where the problem was detected, so that
+    higher layers (the client-tool simulators) can report diagnostics the
+    way real ``wsdl2java``-style tools do.
+    """
+
+    def __init__(self, message, position=0, line=1, column=1):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class XmlWriteError(XmlError):
+    """Raised when a tree cannot be serialized (e.g. invalid names)."""

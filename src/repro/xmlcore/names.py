@@ -1,0 +1,31 @@
+"""Well-known namespace URIs used across the WSDL/XSD/SOAP stacks."""
+
+#: XML Schema definition namespace.
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+
+#: XML Schema instance namespace (``xsi:type`` and friends).
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+
+#: WSDL 1.1 definitions namespace.
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+
+#: WSDL 1.1 SOAP binding extension namespace.
+WSDL_SOAP_NS = "http://schemas.xmlsoap.org/wsdl/soap/"
+
+#: SOAP 1.1 envelope namespace.
+SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+#: The single transport URI mandated by WS-I BP 1.1 for SOAP bindings.
+SOAP_HTTP_TRANSPORT = "http://schemas.xmlsoap.org/soap/http"
+
+#: The reserved ``xml:`` prefix namespace.
+XML_NS = "http://www.w3.org/XML/1998/namespace"
+
+#: The reserved ``xmlns:`` attribute namespace.
+XMLNS_NS = "http://www.w3.org/2000/xmlns/"
+
+#: WS-Addressing namespace (used by ``W3CEndpointReference`` bindings).
+WSA_NS = "http://www.w3.org/2005/08/addressing"
+
+#: Microsoft serialization namespace seen in WCF-generated schemas.
+MS_SERIALIZATION_NS = "http://schemas.microsoft.com/2003/10/Serialization/"

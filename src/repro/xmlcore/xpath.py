@@ -1,0 +1,184 @@
+"""A small XPath-like selector over :class:`~repro.xmlcore.model.Element`.
+
+Supports the practical subset used to interrogate WSDL/SOAP documents:
+
+* ``a/b/c`` — child steps; ``//b`` — any-depth descendant step;
+* ``*`` — any element name; ``pfx:name`` — names in the namespace the
+  caller binds to ``pfx`` (via the ``namespaces`` argument);
+* ``@attr`` — terminal attribute access, ``text()`` — terminal text;
+* predicates: ``[3]`` (1-based position), ``[@attr]``, ``[@attr='v']``.
+
+Example::
+
+    select(root, "wsdl:portType/wsdl:operation/@name",
+           namespaces={"wsdl": WSDL_NS})
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xmlcore.model import Element, QName
+
+
+class XPathError(ValueError):
+    """Raised for malformed path expressions."""
+
+
+_PREDICATE = re.compile(r"\[([^\]]*)\]")
+_ATTR_TEST = re.compile(r"^@([\w.:-]+)(?:\s*=\s*'([^']*)')?$")
+
+
+class _Step:
+    __slots__ = ("name", "descendant", "predicates")
+
+    def __init__(self, token, descendant, namespaces):
+        self.descendant = descendant
+        self.predicates = []
+        base = token
+        for predicate in _PREDICATE.findall(token):
+            self.predicates.append(_parse_predicate(predicate, namespaces))
+        base = _PREDICATE.sub("", token)
+        if not base:
+            raise XPathError(f"empty step in path near {token!r}")
+        self.name = _parse_name_test(base, namespaces)
+
+    def matches(self, element):
+        if self.name is not None and element.name != self.name:
+            if not (self.name.local == "*" and self.name.namespace is None):
+                return False
+        return True
+
+    def apply(self, nodes):
+        matched = []
+        for node in nodes:
+            candidates = (
+                (el for el in node.iter() if el is not node)
+                if self.descendant
+                else node.children
+            )
+            matched.extend(el for el in candidates if self.matches(el))
+        for predicate in self.predicates:
+            matched = predicate(matched)
+        return matched
+
+
+def _parse_name_test(token, namespaces):
+    if token == "*":
+        return QName(None, "*")
+    prefix, sep, local = token.partition(":")
+    if not sep:
+        return QName(None, token)
+    try:
+        namespace = (namespaces or {})[prefix]
+    except KeyError:
+        raise XPathError(f"unbound namespace prefix {prefix!r}") from None
+    return QName(namespace, local)
+
+
+def _parse_predicate(text, namespaces):
+    text = text.strip()
+    if text.isdigit():
+        index = int(text)
+        if index < 1:
+            raise XPathError("positions are 1-based")
+        return lambda nodes: nodes[index - 1 : index]
+    match = _ATTR_TEST.match(text)
+    if match is None:
+        raise XPathError(f"unsupported predicate [{text}]")
+    attr_name = _attribute_qname(match.group(1), namespaces)
+    expected = match.group(2)
+
+    def check(nodes):
+        if expected is None:
+            return [n for n in nodes if n.get(attr_name) is not None]
+        return [n for n in nodes if n.get(attr_name) == expected]
+
+    return check
+
+
+def _attribute_qname(token, namespaces):
+    prefix, sep, local = token.partition(":")
+    if not sep:
+        return QName(None, token)
+    try:
+        return QName((namespaces or {})[prefix], local)
+    except KeyError:
+        raise XPathError(f"unbound namespace prefix {prefix!r}") from None
+
+
+def _tokenize(path):
+    """Split on '/' but keep '//' information per step."""
+    if not path or path == "/":
+        raise XPathError("empty path")
+    steps = []
+    descendant = False
+    buffer = ""
+    index = 0
+    if path.startswith("//"):
+        descendant = True
+        index = 2
+    elif path.startswith("/"):
+        index = 1
+    while index < len(path):
+        ch = path[index]
+        if ch == "/":
+            if not buffer:
+                raise XPathError(f"empty step in {path!r}")
+            steps.append((buffer, descendant))
+            buffer = ""
+            if path.startswith("//", index):
+                descendant = True
+                index += 2
+            else:
+                descendant = False
+                index += 1
+            continue
+        buffer += ch
+        index += 1
+    if not buffer:
+        raise XPathError(f"path {path!r} ends with a separator")
+    steps.append((buffer, descendant))
+    return steps
+
+
+def select(element, path, namespaces=None):
+    """Evaluate ``path`` against ``element``.
+
+    Returns a list of :class:`Element` (for element steps), attribute
+    value strings (for ``@attr`` terminals) or text strings (for
+    ``text()`` terminals).
+    """
+    if not isinstance(element, Element):
+        raise TypeError(f"expected Element, got {type(element).__name__}")
+    tokens = _tokenize(path)
+
+    terminal = None
+    last_token, last_descendant = tokens[-1]
+    if last_token.startswith("@"):
+        terminal = ("attr", _attribute_qname(last_token[1:], namespaces))
+        tokens = tokens[:-1]
+    elif last_token == "text()":
+        terminal = ("text", None)
+        tokens = tokens[:-1]
+    if terminal and not tokens:
+        nodes = [element]
+    else:
+        nodes = [element]
+        for token, descendant in tokens:
+            step = _Step(token, descendant, namespaces)
+            nodes = step.apply(nodes)
+
+    if terminal is None:
+        return nodes
+    kind, attr_name = terminal
+    if kind == "attr":
+        values = [node.get(attr_name) for node in nodes]
+        return [value for value in values if value is not None]
+    return [node.text for node in nodes]
+
+
+def select_one(element, path, namespaces=None, default=None):
+    """First match of :func:`select`, or ``default``."""
+    matches = select(element, path, namespaces)
+    return matches[0] if matches else default

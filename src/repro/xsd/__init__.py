@@ -1,0 +1,45 @@
+"""XML Schema (XSD) substrate.
+
+Only the slice of XSD that WSDL ``<types>`` sections use is modelled:
+schemas with element declarations, complex types (sequences of element
+particles, wildcards, element references), attributes, imports and
+identity constraints.  The model round-trips through
+:mod:`repro.xsd.builder` (model → XML) and :mod:`repro.xsd.reader`
+(XML → model), both built on :mod:`repro.xmlcore`.
+"""
+
+from repro.xsd.builtins import XSD_BUILTIN_NAMES, xsd_name_for
+from repro.xsd.errors import SchemaError, SchemaReadError
+from repro.xsd.model import (
+    AnyParticle,
+    AttributeDecl,
+    ComplexType,
+    ElementDecl,
+    ElementParticle,
+    IdentityConstraint,
+    RefParticle,
+    Schema,
+    SchemaImport,
+    SimpleTypeDecl,
+)
+from repro.xsd.builder import build_schema_element
+from repro.xsd.reader import read_schema
+
+__all__ = [
+    "AnyParticle",
+    "AttributeDecl",
+    "ComplexType",
+    "ElementDecl",
+    "ElementParticle",
+    "IdentityConstraint",
+    "RefParticle",
+    "Schema",
+    "SchemaError",
+    "SchemaImport",
+    "SimpleTypeDecl",
+    "SchemaReadError",
+    "XSD_BUILTIN_NAMES",
+    "build_schema_element",
+    "read_schema",
+    "xsd_name_for",
+]

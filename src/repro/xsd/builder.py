@@ -1,0 +1,174 @@
+"""Render a :class:`~repro.xsd.model.Schema` to an XML element tree.
+
+QName-valued attributes (``type``, ``ref``, ``refer``) are rendered as
+``prefix:local`` text using a caller-supplied *prefix map* (namespace URI
+→ prefix).  The caller is responsible for declaring those prefixes as
+``xmlns:`` attributes on an ancestor element — the WSDL builder declares
+them on ``<wsdl:definitions>``, matching what real frameworks emit.
+"""
+
+from __future__ import annotations
+
+from repro.xmlcore import Element, QName, XSD_NS
+from repro.xsd.errors import SchemaError
+from repro.xsd.model import (
+    AnyParticle,
+    ElementParticle,
+    RefParticle,
+)
+
+
+def _xsd(local):
+    return QName(XSD_NS, local)
+
+
+class _Renderer:
+    def __init__(self, prefixes, prefix_hint):
+        self._prefixes = prefixes
+        self.hint = prefix_hint
+
+    def qname(self, qname):
+        """Render ``qname`` as ``prefix:local`` using the prefix map."""
+        if qname.namespace is None:
+            return qname.local
+        try:
+            prefix = self._prefixes[qname.namespace]
+        except KeyError:
+            raise SchemaError(
+                f"no prefix declared for namespace {qname.namespace!r}"
+            ) from None
+        if not prefix:
+            return qname.local
+        return f"{prefix}:{qname.local}"
+
+
+def build_schema_element(schema, prefixes, prefix_hint="xsd"):
+    """Build the ``<xsd:schema>`` element for ``schema``.
+
+    ``prefixes`` maps namespace URIs to the prefixes declared by the
+    caller; it must cover every namespace referenced by a QName-valued
+    attribute.  ``prefix_hint`` controls the serialized prefix of schema
+    elements themselves (.NET's generator famously used ``s:``).
+    """
+    renderer = _Renderer(prefixes, prefix_hint)
+    root = Element(_xsd("schema"), prefix_hint=prefix_hint)
+    if schema.target_namespace:
+        root.set(QName("targetNamespace"), schema.target_namespace)
+    root.set(QName("elementFormDefault"), schema.element_form_default)
+    for item in schema.imports:
+        imp = root.add_child(Element(_xsd("import"), prefix_hint=prefix_hint))
+        imp.set(QName("namespace"), item.namespace)
+        if item.location is not None:
+            imp.set(QName("schemaLocation"), item.location)
+    for decl in schema.elements:
+        root.add_child(_build_element_decl(decl, renderer))
+    for ctype in schema.complex_types:
+        if ctype.name is None:
+            raise SchemaError("top-level complex types must be named")
+        root.add_child(_build_complex_type(ctype, renderer))
+    for stype in schema.simple_types:
+        root.add_child(_build_simple_type(stype, renderer))
+    return root
+
+
+def _build_simple_type(stype, renderer):
+    element = Element(_xsd("simpleType"), prefix_hint=renderer.hint)
+    element.set(QName("name"), stype.name)
+    restriction = element.add_child(
+        Element(_xsd("restriction"), prefix_hint=renderer.hint)
+    )
+    restriction.set(QName("base"), renderer.qname(stype.base))
+    for value in stype.enumerations:
+        enumeration = restriction.add_child(
+            Element(_xsd("enumeration"), prefix_hint=renderer.hint)
+        )
+        enumeration.set(QName("value"), value)
+    return element
+
+
+def _build_element_decl(decl, renderer):
+    element = Element(_xsd("element"), prefix_hint=renderer.hint)
+    element.set(QName("name"), decl.name)
+    if decl.nillable:
+        element.set(QName("nillable"), "true")
+    if decl.type_name is not None:
+        element.set(QName("type"), renderer.qname(decl.type_name))
+    elif decl.inline_type is not None:
+        element.add_child(_build_complex_type(decl.inline_type, renderer))
+    return element
+
+
+def _build_complex_type(ctype, renderer):
+    element = Element(_xsd("complexType"), prefix_hint=renderer.hint)
+    if ctype.name:
+        element.set(QName("name"), ctype.name)
+    if ctype.mixed:
+        element.set(QName("mixed"), "true")
+    sequence = element.add_child(Element(_xsd("sequence"), prefix_hint=renderer.hint))
+    for particle in ctype.particles:
+        sequence.add_child(_build_particle(particle, renderer))
+    for attribute in ctype.attributes:
+        element.add_child(_build_attribute(attribute, renderer))
+    for constraint in ctype.constraints:
+        element.add_child(_build_constraint(constraint, renderer))
+    return element
+
+
+def _occurs(element, min_occurs, max_occurs):
+    if min_occurs != 1:
+        element.set(QName("minOccurs"), str(min_occurs))
+    if max_occurs is None:
+        element.set(QName("maxOccurs"), "unbounded")
+    elif max_occurs != 1:
+        element.set(QName("maxOccurs"), str(max_occurs))
+
+
+def _build_particle(particle, renderer):
+    if isinstance(particle, ElementParticle):
+        element = Element(_xsd("element"), prefix_hint=renderer.hint)
+        element.set(QName("name"), particle.name)
+        element.set(QName("type"), renderer.qname(particle.type_name))
+        if particle.nillable:
+            element.set(QName("nillable"), "true")
+        _occurs(element, particle.min_occurs, particle.max_occurs)
+        return element
+    if isinstance(particle, RefParticle):
+        element = Element(_xsd("element"), prefix_hint=renderer.hint)
+        element.set(QName("ref"), renderer.qname(particle.ref))
+        _occurs(element, particle.min_occurs, particle.max_occurs)
+        return element
+    if isinstance(particle, AnyParticle):
+        element = Element(_xsd("any"), prefix_hint=renderer.hint)
+        if particle.namespace != "##any":
+            element.set(QName("namespace"), particle.namespace)
+        if particle.process_contents != "strict":
+            element.set(QName("processContents"), particle.process_contents)
+        _occurs(element, particle.min_occurs, particle.max_occurs)
+        return element
+    raise SchemaError(f"unknown particle: {particle!r}")
+
+
+def _build_attribute(attribute, renderer):
+    element = Element(_xsd("attribute"), prefix_hint=renderer.hint)
+    if attribute.ref is not None:
+        element.set(QName("ref"), renderer.qname(attribute.ref))
+    else:
+        element.set(QName("name"), attribute.name)
+        if attribute.type_name is not None:
+            element.set(QName("type"), renderer.qname(attribute.type_name))
+    if attribute.use != "optional":
+        element.set(QName("use"), attribute.use)
+    return element
+
+
+def _build_constraint(constraint, renderer):
+    element = Element(_xsd(constraint.kind), prefix_hint=renderer.hint)
+    element.set(QName("name"), constraint.name)
+    if constraint.refer is not None:
+        element.set(QName("refer"), renderer.qname(constraint.refer))
+    selector = element.add_child(Element(_xsd("selector"), prefix_hint=renderer.hint))
+    selector.set(QName("xpath"), constraint.selector)
+    for fld in constraint.fields:
+        field_el = element.add_child(Element(_xsd("field"), prefix_hint=renderer.hint))
+        field_el.set(QName("xpath"), fld)
+    return element

@@ -1,0 +1,46 @@
+"""XSD built-in simple types and the mapping from catalog value types."""
+
+from __future__ import annotations
+
+from repro.typesystem.model import SimpleType
+from repro.xmlcore import QName, XSD_NS
+
+#: Local names of the XSD built-in simple types we rely on.
+XSD_BUILTIN_NAMES = frozenset(
+    {
+        "string", "boolean", "decimal", "float", "double", "duration",
+        "dateTime", "time", "date", "hexBinary", "base64Binary", "anyURI",
+        "QName", "NOTATION", "integer", "int", "long", "short", "byte",
+        "unsignedInt", "unsignedShort", "unsignedByte", "unsignedLong",
+        "nonNegativeInteger", "positiveInteger", "anyType", "anySimpleType",
+        "ID", "IDREF", "NMTOKEN", "token", "language", "normalizedString",
+    }
+)
+
+_SIMPLE_TO_XSD = {
+    SimpleType.STRING: "string",
+    SimpleType.INT: "int",
+    SimpleType.LONG: "long",
+    SimpleType.SHORT: "short",
+    SimpleType.BYTE: "byte",
+    SimpleType.BOOLEAN: "boolean",
+    SimpleType.FLOAT: "float",
+    SimpleType.DOUBLE: "double",
+    SimpleType.DECIMAL: "decimal",
+    SimpleType.DATETIME: "dateTime",
+    SimpleType.DURATION: "duration",
+    SimpleType.URI: "anyURI",
+    SimpleType.QNAME: "QName",
+    SimpleType.BYTES: "base64Binary",
+    SimpleType.CHAR: "unsignedShort",  # the JAX-WS char mapping
+}
+
+
+def xsd_name_for(simple_type):
+    """Return the XSD :class:`QName` for a catalog :class:`SimpleType`."""
+    return QName(XSD_NS, _SIMPLE_TO_XSD[simple_type])
+
+
+def is_builtin(qname):
+    """True if ``qname`` names an XSD built-in simple type."""
+    return qname.namespace == XSD_NS and qname.local in XSD_BUILTIN_NAMES

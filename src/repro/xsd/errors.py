@@ -1,0 +1,9 @@
+"""Exceptions for the XSD substrate."""
+
+
+class SchemaError(Exception):
+    """Base class for schema-layer errors."""
+
+
+class SchemaReadError(SchemaError):
+    """Raised when an XML tree cannot be interpreted as a schema."""

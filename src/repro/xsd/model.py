@@ -1,0 +1,145 @@
+"""Data model for the XSD slice used inside WSDL ``<types>`` sections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlcore import QName
+
+
+@dataclass(frozen=True)
+class SchemaImport:
+    """``<xsd:import>``: a namespace dependency, optionally locatable.
+
+    ``location`` is ``None`` for the pathological "import without
+    schemaLocation" that several 2013-era frameworks emitted.
+    """
+
+    namespace: str
+    location: str | None = None
+
+
+@dataclass(frozen=True)
+class ElementParticle:
+    """A named local element inside a sequence."""
+
+    name: str
+    type_name: QName
+    min_occurs: int = 1
+    max_occurs: int | None = 1  # None == "unbounded"
+    nillable: bool = False
+
+
+@dataclass(frozen=True)
+class RefParticle:
+    """An element *reference* (``<xsd:element ref="..."/>``)."""
+
+    ref: QName
+    min_occurs: int = 1
+    max_occurs: int | None = 1
+
+
+@dataclass(frozen=True)
+class AnyParticle:
+    """A wildcard (``<xsd:any/>``)."""
+
+    namespace: str = "##any"
+    process_contents: str = "strict"
+    min_occurs: int = 1
+    max_occurs: int | None = 1
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """An attribute declaration or reference on a complex type."""
+
+    name: str | None = None
+    type_name: QName | None = None
+    ref: QName | None = None
+    use: str = "optional"
+
+
+@dataclass(frozen=True)
+class IdentityConstraint:
+    """A ``<xsd:key>``/``<xsd:keyref>`` identity constraint."""
+
+    kind: str  # "key" | "keyref" | "unique"
+    name: str
+    selector: str
+    fields: tuple[str, ...] = ()
+    refer: QName | None = None
+
+
+@dataclass
+class ComplexType:
+    """A named or anonymous complex type with a sequence content model."""
+
+    name: str | None = None
+    particles: list = field(default_factory=list)
+    attributes: list = field(default_factory=list)
+    mixed: bool = False
+    constraints: list = field(default_factory=list)
+
+
+@dataclass
+class SimpleTypeDecl:
+    """A named simple type restricting a base with an enumeration facet."""
+
+    name: str
+    base: QName
+    enumerations: tuple = ()
+
+
+@dataclass
+class ElementDecl:
+    """A global element declaration.
+
+    Either ``type_name`` points at a (built-in or named) type, or
+    ``inline_type`` holds an anonymous :class:`ComplexType`.
+    """
+
+    name: str
+    type_name: QName | None = None
+    inline_type: ComplexType | None = None
+    nillable: bool = False
+
+
+@dataclass
+class Schema:
+    """One ``<xsd:schema>`` document."""
+
+    target_namespace: str | None = None
+    element_form_default: str = "qualified"
+    imports: list = field(default_factory=list)
+    elements: list = field(default_factory=list)
+    complex_types: list = field(default_factory=list)
+    simple_types: list = field(default_factory=list)
+
+    def element(self, name):
+        """Global element declaration named ``name``, or ``None``."""
+        for decl in self.elements:
+            if decl.name == name:
+                return decl
+        return None
+
+    def complex_type(self, name):
+        """Named complex type ``name``, or ``None``."""
+        for ctype in self.complex_types:
+            if ctype.name == name:
+                return ctype
+        return None
+
+    def simple_type(self, name):
+        """Named simple type ``name``, or ``None``."""
+        for stype in self.simple_types:
+            if stype.name == name:
+                return stype
+        return None
+
+    def all_complex_types(self):
+        """Named and anonymous complex types, in declaration order."""
+        found = list(self.complex_types)
+        for decl in self.elements:
+            if decl.inline_type is not None:
+                found.append(decl.inline_type)
+        return found

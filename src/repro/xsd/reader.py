@@ -1,0 +1,178 @@
+"""Read an ``<xsd:schema>`` element tree back into the schema model.
+
+The reader is deliberately *lenient*: it loads structure (including
+dangling references and duplicate attributes) without judging it.
+Strictness differs per client framework, so each framework model applies
+its own validation over the loaded model — that is exactly where the
+paper's interoperability differences come from.
+"""
+
+from __future__ import annotations
+
+from repro.xmlcore import QName, XSD_NS
+from repro.xsd.errors import SchemaReadError
+from repro.xsd.model import (
+    AnyParticle,
+    AttributeDecl,
+    ComplexType,
+    ElementDecl,
+    ElementParticle,
+    IdentityConstraint,
+    RefParticle,
+    Schema,
+    SchemaImport,
+    SimpleTypeDecl,
+)
+
+_CONSTRAINT_KINDS = ("key", "keyref", "unique")
+
+
+def read_schema(element):
+    """Interpret ``element`` (an ``<xsd:schema>``) as a :class:`Schema`."""
+    if element.name != QName(XSD_NS, "schema"):
+        raise SchemaReadError(f"not a schema element: {element.name.text()}")
+    schema = Schema(
+        target_namespace=element.get(QName("targetNamespace")),
+        element_form_default=element.get(QName("elementFormDefault"), "unqualified"),
+    )
+    for child in element.children:
+        if child.name.namespace != XSD_NS:
+            continue
+        local = child.name.local
+        if local == "import":
+            schema.imports.append(
+                SchemaImport(
+                    namespace=child.get(QName("namespace"), ""),
+                    location=child.get(QName("schemaLocation")),
+                )
+            )
+        elif local == "element":
+            schema.elements.append(_read_element_decl(child))
+        elif local == "complexType":
+            schema.complex_types.append(_read_complex_type(child))
+        elif local == "simpleType":
+            schema.simple_types.append(_read_simple_type(child))
+    return schema
+
+
+def _read_simple_type(element):
+    name = element.get(QName("name"))
+    restriction = element.find(QName(XSD_NS, "restriction"))
+    if restriction is None:
+        raise SchemaReadError(f"simple type {name!r} lacks a restriction")
+    base = _resolve(restriction, restriction.get(QName("base")))
+    values = tuple(
+        enum_el.get(QName("value"), "")
+        for enum_el in restriction.find_all(QName(XSD_NS, "enumeration"))
+    )
+    return SimpleTypeDecl(name=name, base=base, enumerations=values)
+
+
+def _resolve(element, value):
+    """Resolve a QName-valued attribute against the element's scope."""
+    if value is None:
+        return None
+    default = None
+    if element.nsscope:
+        default = element.nsscope.get(None)
+    try:
+        return element.resolve_qname_value(value, default_namespace=default)
+    except KeyError as exc:
+        raise SchemaReadError(str(exc)) from exc
+
+
+def _read_occurs(element):
+    minimum = int(element.get(QName("minOccurs"), "1"))
+    raw_max = element.get(QName("maxOccurs"), "1")
+    maximum = None if raw_max == "unbounded" else int(raw_max)
+    return minimum, maximum
+
+
+def _read_element_decl(element):
+    name = element.get(QName("name"))
+    if name is None:
+        raise SchemaReadError("global element declaration without a name")
+    type_name = _resolve(element, element.get(QName("type")))
+    inline = None
+    inline_el = element.find(QName(XSD_NS, "complexType"))
+    if inline_el is not None:
+        inline = _read_complex_type(inline_el)
+    return ElementDecl(
+        name=name,
+        type_name=type_name,
+        inline_type=inline,
+        nillable=element.get(QName("nillable")) == "true",
+    )
+
+
+def _read_complex_type(element):
+    ctype = ComplexType(
+        name=element.get(QName("name")),
+        mixed=element.get(QName("mixed")) == "true",
+    )
+    sequence = element.find(QName(XSD_NS, "sequence"))
+    if sequence is not None:
+        for particle_el in sequence.children:
+            particle = _read_particle(particle_el)
+            if particle is not None:
+                ctype.particles.append(particle)
+    for attr_el in element.find_all(QName(XSD_NS, "attribute")):
+        ctype.attributes.append(
+            AttributeDecl(
+                name=attr_el.get(QName("name")),
+                type_name=_resolve(attr_el, attr_el.get(QName("type"))),
+                ref=_resolve(attr_el, attr_el.get(QName("ref"))),
+                use=attr_el.get(QName("use"), "optional"),
+            )
+        )
+    for kind in _CONSTRAINT_KINDS:
+        for constraint_el in element.find_all(QName(XSD_NS, kind)):
+            ctype.constraints.append(_read_constraint(constraint_el, kind))
+    return ctype
+
+
+def _read_particle(element):
+    if element.name.namespace != XSD_NS:
+        return None
+    minimum, maximum = _read_occurs(element)
+    if element.name.local == "element":
+        ref = element.get(QName("ref"))
+        if ref is not None:
+            return RefParticle(
+                ref=_resolve(element, ref), min_occurs=minimum, max_occurs=maximum
+            )
+        type_name = _resolve(element, element.get(QName("type")))
+        if type_name is None:
+            raise SchemaReadError(
+                f"local element {element.get(QName('name'))!r} lacks a type"
+            )
+        return ElementParticle(
+            name=element.get(QName("name"), ""),
+            type_name=type_name,
+            min_occurs=minimum,
+            max_occurs=maximum,
+            nillable=element.get(QName("nillable")) == "true",
+        )
+    if element.name.local == "any":
+        return AnyParticle(
+            namespace=element.get(QName("namespace"), "##any"),
+            process_contents=element.get(QName("processContents"), "strict"),
+            min_occurs=minimum,
+            max_occurs=maximum,
+        )
+    return None
+
+
+def _read_constraint(element, kind):
+    selector_el = element.find(QName(XSD_NS, "selector"))
+    fields = tuple(
+        field_el.get(QName("xpath"), "")
+        for field_el in element.find_all(QName(XSD_NS, "field"))
+    )
+    return IdentityConstraint(
+        kind=kind,
+        name=element.get(QName("name"), ""),
+        selector=selector_el.get(QName("xpath"), "") if selector_el is not None else "",
+        fields=fields,
+        refer=_resolve(element, element.get(QName("refer"))),
+    )

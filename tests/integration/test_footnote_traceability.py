@@ -1,0 +1,220 @@
+"""Footnote traceability: Table III footnotes a)–h) one by one.
+
+Each test reproduces the exact situation a paper footnote describes,
+using the real catalog entries, and checks the mechanism our models
+implement for it.  This is the audit trail between the published
+narrative and the code.
+"""
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress, JBossAs
+from repro.frameworks.registry import all_client_frameworks
+from repro.services import ServiceDefinition
+from repro.typesystem import Trait
+from repro.wsdl import read_wsdl_text
+from repro.wsi import check_document
+
+CLIENTS = all_client_frameworks()
+
+
+def _deploy(container, catalog, type_name):
+    record = container.deploy(ServiceDefinition(catalog.require(type_name)))
+    assert record.accepted, record.reason
+    return record, read_wsdl_text(record.wsdl_text)
+
+
+class TestFootnoteA:
+    """a) WSDL for the service based on W3CEndpointReference fails the
+    WS-I check (GlassFish/Metro)."""
+
+    def test_fails_wsi_and_breaks_strict_tools(self, java_catalog):
+        __, document = _deploy(
+            GlassFish(), java_catalog,
+            "javax.xml.ws.wsaddressing.W3CEndpointReference",
+        )
+        assert not check_document(document).conformant
+        for client_id in ("metro", "axis1", "axis2", "cxf", "jbossws",
+                          "dotnet-cs", "dotnet-vb", "dotnet-js", "suds"):
+            assert not CLIENTS[client_id].generate(document).succeeded, client_id
+        for client_id in ("gsoap", "zend"):
+            assert CLIENTS[client_id].generate(document).succeeded, client_id
+
+
+class TestFootnoteB:
+    """b) WSDL for the service based on SimpleDateFormat fails the WS-I
+    check; only the .NET languages and gSOAP reject it."""
+
+    def test_fails_wsi_with_duplicate_attribute(self, java_catalog):
+        __, document = _deploy(GlassFish(), java_catalog, "java.text.SimpleDateFormat")
+        report = check_document(document)
+        assert any(v.assertion_id == "BP2120" for v in report.failures)
+
+    def test_rejecting_tools(self, java_catalog):
+        __, document = _deploy(GlassFish(), java_catalog, "java.text.SimpleDateFormat")
+        for client_id in ("dotnet-cs", "dotnet-vb", "dotnet-js", "gsoap"):
+            assert not CLIENTS[client_id].generate(document).succeeded, client_id
+        for client_id in ("metro", "axis1", "cxf", "jbossws", "zend", "suds"):
+            assert CLIENTS[client_id].generate(document).succeeded, client_id
+
+
+class TestFootnoteC:
+    """c) Services based on Future and Response are WS-I compliant but
+    do not provide operations that can be invoked (JBoss AS)."""
+
+    @pytest.mark.parametrize(
+        "type_name", ["java.util.concurrent.Future", "javax.xml.ws.Response"]
+    )
+    def test_compliant_but_unusable(self, java_catalog, type_name):
+        __, document = _deploy(JBossAs(), java_catalog, type_name)
+        report = check_document(document)
+        assert report.conformant  # passes WS-I...
+        assert document.operations == []  # ...but nothing to invoke
+        # "unusable by Metro, Axis2, .NET (C#, VB, JScript) and gSOAP"
+        for client_id in ("metro", "axis2", "dotnet-cs", "dotnet-vb",
+                          "dotnet-js", "gsoap"):
+            assert not CLIENTS[client_id].generate(document).succeeded, client_id
+        # "Axis1, Apache CXF and JBossWS did not signal any problem"
+        for client_id in ("axis1", "cxf", "jbossws"):
+            result = CLIENTS[client_id].generate(document)
+            assert result.succeeded and not result.warnings, client_id
+        # "Zend and Suds generated client objects without methods"
+        for client_id in ("zend", "suds"):
+            result = CLIENTS[client_id].generate(document)
+            assert result.succeeded
+            assert any(d.code == "empty-client" for d in result.warnings), client_id
+
+    def test_glassfish_refused_these_services(self, java_catalog):
+        for type_name in ("java.util.concurrent.Future", "javax.xml.ws.Response"):
+            record = GlassFish().deploy(
+                ServiceDefinition(java_catalog.require(type_name))
+            )
+            assert not record.accepted
+
+
+class TestFootnotesDE:
+    """d)/e) The same two classes fail the WS-I check on JBossWS too
+    (with different pathologies than Metro's)."""
+
+    def test_jboss_epr_variant_differs_from_metro(self, java_catalog):
+        __, metro_doc = _deploy(
+            GlassFish(), java_catalog,
+            "javax.xml.ws.wsaddressing.W3CEndpointReference",
+        )
+        __, jboss_doc = _deploy(
+            JBossAs(), java_catalog,
+            "javax.xml.ws.wsaddressing.W3CEndpointReference",
+        )
+        metro_ids = {v.assertion_id for v in check_document(metro_doc).failures}
+        jboss_ids = {v.assertion_id for v in check_document(jboss_doc).failures}
+        assert metro_ids == {"BP2104"}  # import without location
+        assert jboss_ids == {"BP2105"}  # dangling reference
+
+    def test_axis2_tolerates_only_the_jboss_variant(self, java_catalog):
+        __, metro_doc = _deploy(
+            GlassFish(), java_catalog,
+            "javax.xml.ws.wsaddressing.W3CEndpointReference",
+        )
+        __, jboss_doc = _deploy(
+            JBossAs(), java_catalog,
+            "javax.xml.ws.wsaddressing.W3CEndpointReference",
+        )
+        assert not CLIENTS["axis2"].generate(metro_doc).succeeded
+        assert CLIENTS["axis2"].generate(jboss_doc).succeeded
+
+    def test_gsoap_tolerates_the_jboss_sdf_variant(self, java_catalog):
+        __, document = _deploy(JBossAs(), java_catalog, "java.text.SimpleDateFormat")
+        assert CLIENTS["gsoap"].generate(document).succeeded
+        assert not CLIENTS["dotnet-cs"].generate(document).succeeded
+
+
+class TestFootnoteF:
+    """f) 80 .NET services fail the WS-I check; 76 break the JAXB tools
+    at generation (the s:schema idiom), and suds struggles with one."""
+
+    def test_population_and_mechanism(self, dotnet_catalog):
+        dsref = dotnet_catalog.with_trait(Trait.DATASET_SCHEMA_REF)
+        lang = dotnet_catalog.with_trait(Trait.XML_LANG_ATTR)
+        assert len(dsref) + len(lang) == 80
+        assert len(dsref) == 76
+
+    def test_sample_breaks_jaxb_tools(self, dotnet_catalog):
+        entry = dotnet_catalog.with_trait(Trait.DATASET_SCHEMA_REF)[5]
+        __, document = _deploy(IisExpress(), dotnet_catalog, entry.full_name)
+        for client_id in ("metro", "cxf", "jbossws"):
+            result = CLIENTS[client_id].generate(document)
+            assert not result.succeeded
+            assert "s:schema" in result.errors[0].message, client_id
+        assert CLIENTS["dotnet-cs"].generate(document).succeeded
+
+    def test_binding_customization_would_fix_it(self, dotnet_catalog):
+        """§IV.B.2: the errors 'can be solved by using manual
+        customization of the data type bindings' — i.e. resolving the
+        reference.  Simulate the fix: replace the s:schema ref with an
+        anyType element and the JAXB tools accept the document."""
+        from repro.xmlcore import QName, XSD_NS
+        from repro.xsd import ElementParticle, RefParticle
+
+        entry = dotnet_catalog.with_trait(Trait.DATASET_SCHEMA_REF)[6]
+        __, document = _deploy(IisExpress(), dotnet_catalog, entry.full_name)
+        for schema in document.schemas:
+            for ctype in schema.all_complex_types():
+                ctype.particles = [
+                    ElementParticle("schemaContent", QName(XSD_NS, "anyType"))
+                    if isinstance(p, RefParticle) and p.ref.namespace == XSD_NS
+                    else p
+                    for p in ctype.particles
+                ]
+        assert CLIENTS["metro"].generate(document).succeeded
+
+    def test_xml_lang_pool_is_harmless(self, dotnet_catalog):
+        entry = dotnet_catalog.with_trait(Trait.XML_LANG_ATTR)[0]
+        __, document = _deploy(IisExpress(), dotnet_catalog, entry.full_name)
+        assert not check_document(document).conformant
+        for client in CLIENTS.values():
+            result = client.generate(document)
+            assert result.succeeded
+            if client.requires_compilation:
+                assert client.compiler.compile(result.bundle).succeeded
+
+
+class TestFootnoteG:
+    """g) WS-I-compliant services based on DataTable/DataTableCollection
+    still break tools — the s:any idiom."""
+
+    @pytest.mark.parametrize(
+        "type_name",
+        ["System.Data.DataTable", "System.Data.DataTableCollection"],
+    )
+    def test_compliant_but_breaking(self, dotnet_catalog, type_name):
+        __, document = _deploy(IisExpress(), dotnet_catalog, type_name)
+        assert check_document(document).conformant
+        for client_id in ("metro", "cxf", "jbossws", "axis1"):
+            assert not CLIENTS[client_id].generate(document).succeeded, client_id
+        # Axis2 generates but the artifacts do not compile (2g).
+        axis2 = CLIENTS["axis2"]
+        result = axis2.generate(document)
+        assert result.succeeded
+        assert not axis2.compiler.compile(result.bundle).succeeded
+
+
+class TestFootnoteH:
+    """h) WS-I compliant service based on SocketError: Axis2's enum
+    normalization produces duplicate constants."""
+
+    def test_socket_error_mechanism(self, dotnet_catalog):
+        __, document = _deploy(
+            IisExpress(), dotnet_catalog, "System.Net.Sockets.SocketError"
+        )
+        assert check_document(document).conformant
+        axis2 = CLIENTS["axis2"]
+        result = axis2.generate(document)
+        compiled = axis2.compiler.compile(result.bundle)
+        assert any(d.code == "duplicate-enum-constant" for d in compiled.errors)
+        # Every other compiled tool is fine with it.
+        for client_id in ("metro", "axis1", "cxf", "jbossws",
+                          "dotnet-cs", "dotnet-vb", "dotnet-js", "gsoap"):
+            client = CLIENTS[client_id]
+            other = client.generate(document)
+            assert other.succeeded, client_id
+            assert client.compiler.compile(other.bundle).succeeded, client_id

@@ -1,0 +1,51 @@
+"""Golden-file tests: the emitted WSDL text is pinned byte-for-byte.
+
+Any change to the emission pipeline (builders, serializer, framework
+quirks) that alters the published documents shows up here first.  The
+snapshots live in ``tests/data/golden`` and were generated from the
+calibrated catalogs; regenerate them deliberately if an emission change
+is intended (see the module-level script in the repo history).
+"""
+
+import os
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress, JBossAs
+from repro.services import ServiceDefinition
+from repro.wsdl import read_wsdl_text
+
+_GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "data", "golden")
+
+_CASES = [
+    ("metro_date", GlassFish, "java", "java.util.Date"),
+    ("metro_w3cepr", GlassFish, "java",
+     "javax.xml.ws.wsaddressing.W3CEndpointReference"),
+    ("metro_sdf", GlassFish, "java", "java.text.SimpleDateFormat"),
+    ("jbossws_future", JBossAs, "java", "java.util.concurrent.Future"),
+    ("jbossws_w3cepr", JBossAs, "java",
+     "javax.xml.ws.wsaddressing.W3CEndpointReference"),
+    ("wcf_dataset", IisExpress, "dotnet", "System.Data.DataSet"),
+    ("wcf_socketerror", IisExpress, "dotnet", "System.Net.Sockets.SocketError"),
+]
+
+
+def _golden(name):
+    with open(os.path.join(_GOLDEN_DIR, f"{name}.wsdl"), encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.mark.parametrize("name,container_class,catalog_key,type_name", _CASES)
+def test_emitted_wsdl_matches_golden(
+    name, container_class, catalog_key, type_name, java_catalog, dotnet_catalog
+):
+    catalog = java_catalog if catalog_key == "java" else dotnet_catalog
+    record = container_class().deploy(ServiceDefinition(catalog.require(type_name)))
+    assert record.accepted, record.reason
+    assert record.wsdl_text == _golden(name)
+
+
+@pytest.mark.parametrize("name,container_class,catalog_key,type_name", _CASES)
+def test_golden_files_parse(name, container_class, catalog_key, type_name):
+    document = read_wsdl_text(_golden(name))
+    assert document.target_namespace

@@ -1,0 +1,134 @@
+"""Property-based invariants of calibration and campaign accounting."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.outcomes import ClientTestRecord, classify
+from repro.core.results import CampaignResult, CellStats, ServerRunReport
+from repro.typesystem import build_java_catalog
+from repro.typesystem.quotas import JavaCatalogQuotas
+
+
+@st.composite
+def java_quotas(draw):
+    total = draw(st.integers(min_value=150, max_value=600))
+    metro = draw(st.integers(min_value=60, max_value=max(61, total - 60)))
+    assume(metro + 2 <= total)
+    jbossws_core = draw(st.integers(min_value=30, max_value=metro))
+    throwable_metro = draw(st.integers(min_value=4, max_value=min(40, metro // 3)))
+    throwable_jbossws = draw(st.integers(min_value=4, max_value=throwable_metro))
+    # The CXF-rejected pool must be able to absorb the throwable gap.
+    assume(metro - jbossws_core >= throwable_metro - throwable_jbossws)
+    script = draw(st.integers(min_value=0, max_value=min(5, jbossws_core // 8)))
+    quotas = JavaCatalogQuotas(
+        total=total,
+        metro_bindable=metro,
+        jbossws_bindable=jbossws_core + 2,
+        throwable_total=throwable_metro + draw(st.integers(0, 10)),
+        throwable_metro=throwable_metro,
+        throwable_jbossws=throwable_jbossws,
+        script_unfriendly=script,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    try:
+        quotas.validate()
+    except ValueError:
+        assume(False)
+    return quotas
+
+
+class TestCalibrationProperties:
+    @given(quotas=java_quotas())
+    @settings(max_examples=25, deadline=None)
+    def test_synthesis_hits_arbitrary_quotas(self, quotas):
+        try:
+            catalog = build_java_catalog(quotas)
+        except ValueError:
+            # Some quota combinations leave no room for a structural
+            # bucket; rejecting them loudly is the contract.
+            return
+        from repro.typesystem import CtorVisibility, Trait
+
+        def metro_binds(entry):
+            return (
+                entry.is_concrete_class
+                and not entry.is_generic
+                and entry.ctor in (CtorVisibility.PUBLIC, CtorVisibility.PROTECTED)
+            )
+
+        def jbossws_binds(entry):
+            if entry.has_trait(Trait.ASYNC_HANDLE):
+                return True
+            return (
+                entry.is_concrete_class
+                and not entry.is_generic
+                and entry.ctor is CtorVisibility.PUBLIC
+            )
+
+        assert len(catalog) == quotas.total
+        assert sum(1 for e in catalog if metro_binds(e)) == quotas.metro_bindable
+        assert sum(1 for e in catalog if jbossws_binds(e)) == quotas.jbossws_bindable
+
+
+step_outcomes = st.builds(
+    classify,
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+
+records = st.builds(
+    ClientTestRecord,
+    st.sampled_from(["metro", "jbossws", "wcf"]),
+    st.sampled_from(["metro", "axis1", "suds"]),
+    st.sampled_from(["SvcA", "SvcB", "SvcC"]),
+    step_outcomes,
+    step_outcomes,
+)
+
+
+class TestAccountingProperties:
+    @given(batch=st.lists(records, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_cell_counts_bounded_by_tests(self, batch):
+        result = CampaignResult(
+            server_ids=("metro", "jbossws", "wcf"),
+            client_ids=("metro", "axis1", "suds"),
+        )
+        for server_id in result.server_ids:
+            result.servers[server_id] = ServerRunReport(server_id=server_id)
+        for record in batch:
+            result.add_record(record)
+        assert result.tests_executed == len(batch)
+        for cell in result.cells.values():
+            assert cell.gen_warning_tests <= cell.tests
+            assert cell.gen_error_tests <= cell.tests
+            assert cell.comp_warning_tests <= cell.tests
+            assert cell.comp_error_tests <= cell.tests
+
+    @given(batch=st.lists(records, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_totals_equal_sum_of_cells(self, batch):
+        result = CampaignResult(
+            server_ids=("metro", "jbossws", "wcf"),
+            client_ids=("metro", "axis1", "suds"),
+        )
+        for server_id in result.server_ids:
+            result.servers[server_id] = ServerRunReport(server_id=server_id)
+        for record in batch:
+            result.add_record(record)
+        totals = result.totals()
+        assert totals["gen_error_tests"] == sum(
+            c.gen_error_tests for c in result.cells.values()
+        )
+        assert totals["error_situations"] == sum(
+            c.error_tests for c in result.cells.values()
+        )
+
+    @given(outcome=step_outcomes)
+    @settings(max_examples=60, deadline=None)
+    def test_classification_consistent(self, outcome):
+        if outcome.error_count:
+            assert outcome.status.value == "error"
+        elif outcome.warning_count:
+            assert outcome.status.value == "warning"
+        else:
+            assert outcome.status.value == "ok"

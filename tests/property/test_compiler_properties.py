@@ -1,0 +1,100 @@
+"""Property-based tests for the compiler simulators."""
+
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.artifacts import ArtifactBundle, CodeUnit, FieldDecl, MethodDecl, UnitKind
+from repro.compilers import (
+    CSharpCompiler,
+    JavaCompiler,
+    VisualBasicCompiler,
+)
+
+identifiers = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from(list(string.ascii_lowercase)),
+    st.text(alphabet=string.ascii_letters + string.digits, max_size=6),
+)
+
+type_texts = st.sampled_from(["String", "int", "long", "boolean", "Object"])
+
+
+@st.composite
+def clean_units(draw):
+    """A unit with distinct fields and only resolvable references."""
+    field_names = draw(
+        st.lists(identifiers, min_size=0, max_size=5, unique=True)
+    )
+    fields = [FieldDecl(name, draw(type_texts)) for name in field_names]
+    methods = []
+    if field_names and draw(st.booleans()):
+        target = draw(st.sampled_from(field_names))
+        methods.append(MethodDecl(f"get_{target}", references=(target,)))
+    return CodeUnit(
+        draw(identifiers).capitalize() + "Unit",
+        UnitKind.BEAN,
+        "java",
+        fields=fields,
+        methods=methods,
+    )
+
+
+def _bundle(units):
+    bundle = ArtifactBundle(tool="t", service="s")
+    bundle.units.extend(units)
+    return bundle
+
+
+class TestCompilerProperties:
+    @given(units=st.lists(clean_units(), max_size=4))
+    @settings(max_examples=120, deadline=None)
+    def test_clean_units_always_compile(self, units):
+        names = [unit.name for unit in units]
+        assume(len(names) == len(set(names)))
+        for compiler in (JavaCompiler(), CSharpCompiler()):
+            assert compiler.compile(_bundle(units)).succeeded
+
+    @given(unit=clean_units(), duplicate_index=st.integers(0, 10))
+    @settings(max_examples=120, deadline=None)
+    def test_planted_duplicate_always_detected(self, unit, duplicate_index):
+        assume(unit.fields)
+        victim = unit.fields[duplicate_index % len(unit.fields)]
+        unit.fields.append(FieldDecl(victim.name, "long"))
+        result = JavaCompiler().compile(_bundle([unit]))
+        assert any(d.code == "duplicate-member" for d in result.errors)
+
+    @given(unit=clean_units(), ghost=identifiers)
+    @settings(max_examples=120, deadline=None)
+    def test_planted_unresolved_reference_always_detected(self, unit, ghost):
+        ghost = f"zz_{ghost}"  # cannot collide with generated names
+        unit.methods.append(MethodDecl("broken", references=(ghost,)))
+        result = JavaCompiler().compile(_bundle([unit]))
+        assert any(
+            d.code == "unresolved-symbol" and ghost in d.message
+            for d in result.errors
+        )
+
+    @given(unit=clean_units())
+    @settings(max_examples=120, deadline=None)
+    def test_vb_flags_any_case_collision(self, unit):
+        assume(unit.fields)
+        victim = unit.fields[0]
+        flipped = victim.name.swapcase()
+        assume(flipped != victim.name)
+        unit.fields.append(FieldDecl(flipped, victim.type_text))
+        vb_result = VisualBasicCompiler().compile(_bundle([unit]))
+        cs_result = CSharpCompiler().compile(_bundle([unit]))
+        assert not vb_result.succeeded
+        assert cs_result.succeeded
+
+    @given(units=st.lists(clean_units(), max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_compilation_is_deterministic(self, units):
+        names = [unit.name for unit in units]
+        assume(len(names) == len(set(names)))
+        first = JavaCompiler().compile(_bundle(units))
+        second = JavaCompiler().compile(_bundle(units))
+        assert [str(d) for d in first.diagnostics] == [
+            str(d) for d in second.diagnostics
+        ]

@@ -1,0 +1,119 @@
+"""Property-based tests for the WSDL/SOAP stacks and service emission."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.appservers import GlassFish
+from repro.frameworks.registry import all_client_frameworks
+from repro.services import ServiceDefinition
+from repro.soap import decode_wrapper, encode_wrapper
+from repro.typesystem import Language, Property, SimpleType, TypeInfo
+from repro.typesystem.synthesis import PROPERTY_NAMES
+from repro.wsdl import read_wsdl_text, serialize_wsdl
+from repro.wsi import check_document
+from repro.xmlcore import QName
+
+_CLIENTS = all_client_frameworks()
+
+property_names = st.sampled_from(PROPERTY_NAMES)
+simple_types = st.sampled_from(list(SimpleType))
+
+bean_properties = st.lists(
+    st.builds(
+        Property,
+        property_names,
+        simple_types,
+        st.booleans(),
+        st.just(False),
+    ),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda prop: prop.name,
+)
+
+type_names = st.builds(
+    lambda a, b: a + b,
+    st.sampled_from(["Alpha", "Beta", "Gamma", "Delta", "Sigma"]),
+    st.sampled_from(["Holder", "Record", "Entry", "Value", "Packet"]),
+)
+
+plain_types = st.builds(
+    lambda name, props: TypeInfo(
+        Language.JAVA, "pkg.generated", name, properties=tuple(props)
+    ),
+    type_names,
+    bean_properties,
+)
+
+
+class TestEmittedWsdlProperties:
+    @given(entry=plain_types)
+    @settings(max_examples=60, deadline=None)
+    def test_emitted_wsdl_roundtrips_and_passes_wsi(self, entry):
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        assert record.accepted
+        document = read_wsdl_text(record.wsdl_text)
+        assert check_document(document).clean
+        assert len(document.operations) == 1
+        bean = document.schemas[0].complex_type(entry.name)
+        assert len(bean.particles) == len(entry.properties)
+
+    @given(entry=plain_types)
+    @settings(max_examples=30, deadline=None)
+    def test_every_client_generates_from_plain_wsdl(self, entry):
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        document = read_wsdl_text(record.wsdl_text)
+        for client_id, client in _CLIENTS.items():
+            result = client.generate(document)
+            assert result.succeeded, (client_id, [str(d) for d in result.errors])
+            if client.requires_compilation:
+                compiled = client.compiler.compile(result.bundle)
+                assert compiled.succeeded, (client_id, [str(d) for d in compiled.errors])
+
+    @given(entry=plain_types)
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_deterministic(self, entry):
+        record_a = GlassFish().deploy(ServiceDefinition(entry))
+        record_b = GlassFish().deploy(ServiceDefinition(entry))
+        assert record_a.wsdl_text == record_b.wsdl_text
+
+    @given(entry=plain_types)
+    @settings(max_examples=30, deadline=None)
+    def test_reparse_is_stable(self, entry):
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        document = read_wsdl_text(record.wsdl_text)
+        again = read_wsdl_text(serialize_wsdl(document))
+        assert again.operations == document.operations
+        assert again.messages == document.messages
+
+
+_scalar_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " .-_",
+    max_size=12,
+)
+
+
+@st.composite
+def wrapper_values(draw, depth=1):
+    keys = draw(st.lists(property_names, min_size=1, max_size=4, unique=True))
+    values = {}
+    for key in keys:
+        choice = draw(st.integers(min_value=0, max_value=3 if depth else 2))
+        if choice == 0:
+            values[key] = draw(_scalar_values)
+        elif choice == 1:
+            values[key] = None
+        elif choice == 2:
+            values[key] = draw(st.lists(_scalar_values, min_size=2, max_size=3))
+        else:
+            values[key] = draw(wrapper_values(depth=depth - 1))
+    return values
+
+
+class TestSoapEncodingProperties:
+    @given(values=wrapper_values())
+    @settings(max_examples=150, deadline=None)
+    def test_wrapper_roundtrip(self, values):
+        wrapper = encode_wrapper(QName("urn:x", "echo"), values)
+        assert decode_wrapper(wrapper) == values

@@ -1,0 +1,79 @@
+"""Property-based tests for the XPath-lite selector."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlcore import Element, QName, select
+from repro.xmlcore.xpath import select_one
+
+_NAMES = ("alpha", "beta", "gamma", "delta")
+
+names = st.sampled_from(_NAMES)
+
+
+@st.composite
+def trees(draw, depth=3):
+    element = Element(QName(draw(names)))
+    if draw(st.booleans()):
+        element.set(QName("id"), draw(st.text(alphabet=string.digits, min_size=1, max_size=3)))
+    if depth > 0:
+        for child in draw(st.lists(trees(depth=depth - 1), max_size=3)):
+            element.add_child(child)
+    return element
+
+
+def _count_descendants(element, local):
+    return sum(
+        1 for node in element.iter() if node is not element and node.name.local == local
+    )
+
+
+class TestSelectorProperties:
+    @given(tree=trees(), name=names)
+    @settings(max_examples=150, deadline=None)
+    def test_descendant_step_matches_manual_walk(self, tree, name):
+        assert len(select(tree, f"//{name}")) == _count_descendants(tree, name)
+
+    @given(tree=trees(), name=names)
+    @settings(max_examples=150, deadline=None)
+    def test_child_step_is_prefix_of_descendants(self, tree, name):
+        children = select(tree, name)
+        descendants = select(tree, f"//{name}")
+        assert len(children) <= len(descendants)
+        for node in children:
+            assert node in descendants
+
+    @given(tree=trees())
+    @settings(max_examples=100, deadline=None)
+    def test_wildcard_counts_children(self, tree):
+        assert len(select(tree, "*")) == len(tree.children)
+
+    @given(tree=trees(), name=names)
+    @settings(max_examples=100, deadline=None)
+    def test_position_predicate_selects_single(self, tree, name):
+        matches = select(tree, f"//{name}")
+        for index in range(1, len(matches) + 1):
+            picked = select(tree, f"//{name}[{index}]")
+            assert picked == [matches[index - 1]]
+
+    @given(tree=trees())
+    @settings(max_examples=100, deadline=None)
+    def test_attribute_terminal_only_existing(self, tree):
+        values = select(tree, "//*[@id]/@id")
+        assert all(isinstance(value, str) for value in values)
+        with_attr = [
+            node for node in tree.iter()
+            if node is not tree and node.get("id") is not None
+        ]
+        assert len(values) == len(with_attr)
+
+    @given(tree=trees(), name=names)
+    @settings(max_examples=100, deadline=None)
+    def test_select_one_agrees_with_select(self, tree, name):
+        matches = select(tree, f"//{name}")
+        first = select_one(tree, f"//{name}")
+        if matches:
+            assert first is matches[0]
+        else:
+            assert first is None

@@ -1,0 +1,155 @@
+"""Unit tests for derived analyses, reporting and export."""
+
+import json
+
+from repro.core.analysis import (
+    error_free_wsi_warned_services,
+    error_services_by_server,
+    headline_numbers,
+    same_framework_error_tests,
+    wsi_predictive_power,
+)
+from repro.core.outcomes import ClientTestRecord, classify
+from repro.core.results import CampaignResult, ServerRunReport
+from repro.data import PAPER_TABLE3
+from repro.reporting import (
+    comparison_rows,
+    fig4_comparison,
+    render_fig4,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    result_to_json,
+    table3_comparison,
+    table3_to_csv,
+)
+
+
+def _record(server, client, service, gen=(0, 0), comp=(0, 0)):
+    return ClientTestRecord(
+        server_id=server,
+        client_id=client,
+        service_name=service,
+        generation=classify(*gen),
+        compilation=classify(*comp),
+    )
+
+
+def _toy_result():
+    result = CampaignResult(server_ids=("metro",), client_ids=("metro", "axis1"))
+    report = ServerRunReport(
+        server_id="metro", server_name="Metro", services_total=3,
+        deployed=2, refused=1,
+    )
+    report.wsi_failing.add("SvcBad")
+    result.servers["metro"] = report
+    result.add_record(_record("metro", "metro", "SvcBad", gen=(1, 0)))
+    result.add_record(_record("metro", "metro", "SvcGood"))
+    result.add_record(_record("metro", "axis1", "SvcBad", gen=(0, 1), comp=(0, 1)))
+    result.add_record(_record("metro", "axis1", "SvcGood", comp=(1, 1)))
+    return result
+
+
+class TestAnalysis:
+    def test_same_framework_errors_counts_own_cells_only(self):
+        result = _toy_result()
+        # metro x metro has 1 generation error; axis1 is foreign.
+        assert same_framework_error_tests(result) == 1
+
+    def test_error_services_by_server(self):
+        errors = error_services_by_server(_toy_result())
+        assert errors["metro"] == {"SvcBad", "SvcGood"}
+
+    def test_wsi_predictive_power(self):
+        warned, with_errors, ratio = wsi_predictive_power(_toy_result())
+        assert warned == 1 and with_errors == 1 and ratio == 1.0
+
+    def test_error_free_wsi_warned_services_empty_here(self):
+        assert error_free_wsi_warned_services(_toy_result()) == []
+
+    def test_error_free_detection(self):
+        result = _toy_result()
+        result.servers["metro"].wsi_failing.add("SvcClean")
+        survivors = error_free_wsi_warned_services(result)
+        assert survivors == [("metro", "SvcClean")]
+
+    def test_headline_numbers_keys(self):
+        headlines = headline_numbers(_toy_result())
+        for key in (
+            "tests", "error_situations", "same_framework_error_tests",
+            "wsi_predictive_ratio", "wsi_error_free_services",
+        ):
+            assert key in headlines
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table(("A", "Blong"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert lines[0].startswith("A  ")
+        assert "-+-" in lines[1]
+
+    def test_table1_lists_three_servers(self):
+        text = render_table1()
+        assert "GlassFish 4.0" in text
+        assert "JBoss AS 7.2" in text
+        assert "IIS" in text
+
+    def test_table2_lists_eleven_clients(self):
+        text = render_table2()
+        assert text.count("\n") >= 12
+        assert "suds Python client" in text
+        assert "N/A" in text  # PHP/Python do not compile
+
+    def test_table3_renders_all_cells(self):
+        text = render_table3(_toy_result())
+        assert "metro" in text and "axis1" in text
+        assert "WS-I warnings" in text
+
+    def test_fig4_renders_bars(self):
+        text = render_fig4(_toy_result())
+        assert "Fig. 4" in text
+        assert "#" in text
+
+
+class TestComparisons:
+    def test_full_campaign_matches_reconstruction(self, full_campaign_result):
+        rows = table3_comparison(full_campaign_result)
+        mismatched = [row for row in rows if not row[-1]]
+        assert mismatched == []
+
+    def test_fig4_comparison_matches(self, full_campaign_result):
+        mismatched = [row for row in fig4_comparison(full_campaign_result) if not row[-1]]
+        assert mismatched == []
+
+    def test_headline_comparison(self, full_campaign_result):
+        rows = {metric: match for metric, __, __, match in comparison_rows(full_campaign_result)}
+        # Everything except the paper's internally inconsistent
+        # error_situations total must match exactly.
+        assert rows["tests"]
+        assert rows["services_created"]
+        assert rows["comp_warning_tests"]
+        assert rows["comp_error_tests"]
+        assert rows["same_framework_error_tests"]
+        assert rows["wsi_error_free_services"]
+        assert rows["wsi_predictive_ratio"]
+        assert not rows["error_situations"]  # documented: 1583 vs 1591
+
+    def test_paper_table3_covers_all_cells(self):
+        assert set(PAPER_TABLE3) == {"metro", "jbossws", "wcf"}
+        for clients in PAPER_TABLE3.values():
+            assert len(clients) == 11
+
+
+class TestExport:
+    def test_csv_has_row_per_cell(self):
+        text = table3_to_csv(_toy_result())
+        lines = [line for line in text.strip().splitlines() if line]
+        assert len(lines) == 1 + 2  # header + 1 server x 2 clients
+
+    def test_json_roundtrips(self):
+        payload = json.loads(result_to_json(_toy_result()))
+        assert payload["servers"]["metro"]["deployed"] == 2
+        assert payload["cells"]["metro/metro"] == [0, 1, 0, 0]
+        assert "headlines" in payload

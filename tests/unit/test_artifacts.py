@@ -1,0 +1,121 @@
+"""Unit tests for the artifact model and renderers."""
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactBundle,
+    CodeUnit,
+    FieldDecl,
+    MethodDecl,
+    ParamDecl,
+    UnitKind,
+    render_unit,
+)
+
+
+def _stub(methods=()):
+    return CodeUnit("ServiceStub", UnitKind.STUB, "java", methods=list(methods))
+
+
+class TestBundle:
+    def test_operation_methods_from_stub_and_proxy(self):
+        bundle = ArtifactBundle(tool="t", service="s")
+        bundle.units.append(_stub([MethodDecl("echo")]))
+        bundle.units.append(
+            CodeUnit("Bean", UnitKind.BEAN, "java", methods=[MethodDecl("getX")])
+        )
+        assert [m.name for m in bundle.operation_methods] == ["echo"]
+
+    def test_unit_lookup(self):
+        bundle = ArtifactBundle(tool="t", service="s")
+        bean = CodeUnit("Bean", UnitKind.BEAN, "java")
+        bundle.units.append(bean)
+        assert bundle.unit("Bean") is bean
+        assert bundle.unit("Nope") is None
+
+    def test_partial_flag_defaults_false(self):
+        assert not ArtifactBundle(tool="t", service="s").partial
+
+
+class TestUnit:
+    def test_field_and_method_names(self):
+        unit = CodeUnit(
+            "Bean",
+            UnitKind.BEAN,
+            "java",
+            fields=[FieldDecl("a", "int"), FieldDecl("b", "String")],
+            methods=[MethodDecl("getA")],
+        )
+        assert unit.field_names() == ["a", "b"]
+        assert unit.method_names() == ["getA"]
+
+
+class TestRenderers:
+    @pytest.mark.parametrize(
+        "language,needle",
+        [
+            ("java", "public class Bean {"),
+            ("csharp", "public class Bean {"),
+            ("vb", "Public Class Bean"),
+            ("jscript", "class Bean {"),
+            ("cpp", "struct Bean {"),
+            ("php", "class Bean {"),
+            ("python", "class Bean:"),
+        ],
+    )
+    def test_class_opener_per_language(self, language, needle):
+        unit = CodeUnit("Bean", UnitKind.BEAN, language)
+        assert needle in render_unit(unit)
+
+    def test_java_field_rendering(self):
+        unit = CodeUnit(
+            "Bean", UnitKind.BEAN, "java", fields=[FieldDecl("size", "int")]
+        )
+        assert "private int size;" in render_unit(unit)
+
+    def test_vb_field_rendering(self):
+        unit = CodeUnit(
+            "Bean", UnitKind.BEAN, "vb", fields=[FieldDecl("Size", "Integer")]
+        )
+        assert "Public Size As Integer" in render_unit(unit)
+
+    def test_php_field_rendering(self):
+        unit = CodeUnit("Bean", UnitKind.BEAN, "php", fields=[FieldDecl("size", "")])
+        assert "public $size;" in render_unit(unit)
+
+    def test_method_params_java(self):
+        unit = _stub(
+            [MethodDecl("echo", params=(ParamDecl("input", "Bean"),), returns="Bean")]
+        )
+        assert "public Bean echo(Bean input)" in render_unit(unit)
+
+    def test_method_params_vb(self):
+        unit = CodeUnit(
+            "Stub",
+            UnitKind.STUB,
+            "vb",
+            methods=[
+                MethodDecl("Echo", params=(ParamDecl("input", "Bean"),), returns="Bean")
+            ],
+        )
+        assert "Public Function Echo(input As Bean) As Bean" in render_unit(unit)
+
+    def test_enum_constants_rendered(self):
+        unit = CodeUnit(
+            "Status", UnitKind.ENUM, "java", enum_constants=["OPEN", "CLOSED"]
+        )
+        text = render_unit(unit)
+        assert "OPEN," in text and "CLOSED," in text
+
+    def test_python_method_rendering(self):
+        unit = CodeUnit(
+            "Proxy",
+            UnitKind.PROXY,
+            "python",
+            methods=[MethodDecl("echo", params=(ParamDecl("input", ""),))],
+        )
+        assert "def echo(self, input):" in render_unit(unit)
+
+    def test_non_unit_rejected(self):
+        with pytest.raises(TypeError):
+            render_unit("nope")

@@ -1,0 +1,204 @@
+"""Calibration tests: the synthesized catalogs hit the paper's counts.
+
+The binding predicates here are *re-implementations* of the server
+framework rules (kept deliberately independent of the framework code) so
+that a regression in either side shows up as a mismatch.
+"""
+
+import pytest
+
+from repro.typesystem import (
+    CtorVisibility,
+    Trait,
+    TypeKind,
+    build_dotnet_catalog,
+    build_java_catalog,
+)
+from repro.typesystem.quotas import (
+    DotNetCatalogQuotas,
+    JavaCatalogQuotas,
+    QUICK_DOTNET_QUOTAS,
+    QUICK_JAVA_QUOTAS,
+)
+
+
+def _metro_binds(entry):
+    return (
+        entry.is_concrete_class
+        and not entry.is_generic
+        and entry.ctor in (CtorVisibility.PUBLIC, CtorVisibility.PROTECTED)
+    )
+
+
+def _jbossws_binds(entry):
+    if entry.has_trait(Trait.ASYNC_HANDLE):
+        return True
+    return (
+        entry.is_concrete_class
+        and not entry.is_generic
+        and entry.ctor is CtorVisibility.PUBLIC
+    )
+
+
+def _wcf_binds(entry):
+    return (
+        entry.is_concrete_class
+        and not entry.is_generic
+        and entry.ctor is CtorVisibility.PUBLIC
+    )
+
+
+class TestJavaCalibration:
+    def test_total_population(self, java_catalog):
+        assert len(java_catalog) == 3971
+
+    def test_metro_bindable_count(self, java_catalog):
+        assert sum(1 for e in java_catalog if _metro_binds(e)) == 2489
+
+    def test_jbossws_bindable_count(self, java_catalog):
+        assert sum(1 for e in java_catalog if _jbossws_binds(e)) == 2248
+
+    def test_jbossws_nested_in_metro_except_async(self, java_catalog):
+        for entry in java_catalog:
+            if _jbossws_binds(entry) and not entry.has_trait(Trait.ASYNC_HANDLE):
+                assert _metro_binds(entry)
+
+    def test_throwable_counts(self, java_catalog):
+        throwables = java_catalog.with_trait(Trait.THROWABLE)
+        assert len(throwables) == 520
+        assert sum(1 for e in throwables if _metro_binds(e)) == 477
+        assert sum(1 for e in throwables if _jbossws_binds(e)) == 412
+
+    def test_script_unfriendly_counts(self, java_catalog):
+        script = java_catalog.with_trait(Trait.SCRIPT_UNFRIENDLY)
+        assert len(script) == 50
+        assert all(_metro_binds(e) and _jbossws_binds(e) for e in script)
+
+    def test_named_specials_present(self, java_catalog):
+        assert java_catalog.require("java.util.concurrent.Future").has_trait(
+            Trait.ASYNC_HANDLE
+        )
+        assert java_catalog.require("javax.xml.ws.Response").kind is TypeKind.INTERFACE
+        assert java_catalog.require(
+            "javax.xml.ws.wsaddressing.W3CEndpointReference"
+        ).has_trait(Trait.WS_ADDRESSING_EPR)
+        assert java_catalog.require("java.text.SimpleDateFormat").has_trait(
+            Trait.LOCALE_FORMAT
+        )
+        assert java_catalog.require(
+            "javax.xml.datatype.XMLGregorianCalendar"
+        ).has_trait(Trait.XML_CALENDAR)
+
+    def test_case_collider_deployable_on_both(self, java_catalog):
+        collider = java_catalog.require("java.beans.FeatureDescriptor")
+        assert _metro_binds(collider) and _jbossws_binds(collider)
+
+    def test_deterministic_rebuild(self, java_catalog):
+        again = build_java_catalog()
+        assert [e.full_name for e in again] == [e.full_name for e in java_catalog]
+
+    def test_throwables_have_message_property(self, java_catalog):
+        for entry in java_catalog.with_trait(Trait.THROWABLE):
+            assert any(p.name == "message" for p in entry.properties)
+
+
+class TestDotNetCalibration:
+    def test_total_population(self, dotnet_catalog):
+        assert len(dotnet_catalog) == 14082
+
+    def test_wcf_bindable_count(self, dotnet_catalog):
+        assert sum(1 for e in dotnet_catalog if _wcf_binds(e)) == 2502
+
+    def test_wsi_failing_population(self, dotnet_catalog):
+        dsref = dotnet_catalog.with_trait(Trait.DATASET_SCHEMA_REF)
+        lang = dotnet_catalog.with_trait(Trait.XML_LANG_ATTR)
+        assert len(dsref) == 76
+        assert len(lang) == 4
+        assert all(_wcf_binds(e) for e in dsref + lang)
+
+    def test_dataset_sub_quotas(self, dotnet_catalog):
+        assert dotnet_catalog.count_with_trait(Trait.SCHEMA_KEYREF) == 13
+        assert dotnet_catalog.count_with_trait(Trait.RECURSIVE_SCHEMA_REF) == 1
+        assert dotnet_catalog.count_with_trait(Trait.SELF_WARN) == 1
+
+    def test_dataset_sub_traits_disjoint(self, dotnet_catalog):
+        special = (Trait.SCHEMA_KEYREF, Trait.RECURSIVE_SCHEMA_REF, Trait.SELF_WARN)
+        for entry in dotnet_catalog.with_trait(Trait.DATASET_SCHEMA_REF):
+            assert sum(entry.has_trait(t) for t in special) <= 1
+
+    def test_script_unfriendly_counts(self, dotnet_catalog):
+        script = dotnet_catalog.with_trait(Trait.SCRIPT_UNFRIENDLY)
+        crashers = dotnet_catalog.with_trait(Trait.SCRIPT_CRASHER)
+        assert len(script) == 301
+        assert len(crashers) == 15
+        assert all(e.has_trait(Trait.SCRIPT_UNFRIENDLY) for e in crashers)
+
+    def test_named_specials_present(self, dotnet_catalog):
+        assert dotnet_catalog.require("System.Data.DataSet").has_trait(
+            Trait.ANY_CONTENT
+        )
+        table = dotnet_catalog.require("System.Data.DataTable")
+        assert table.has_trait(Trait.MIXED_CONTENT)
+        socket_error = dotnet_catalog.require("System.Net.Sockets.SocketError")
+        assert socket_error.kind is TypeKind.ENUM
+        assert socket_error.has_trait(Trait.CASE_COLLIDING_ENUM)
+
+    def test_webcontrols_colliders(self, dotnet_catalog):
+        colliders = dotnet_catalog.with_trait(Trait.CASE_COLLIDING_PROPERTIES)
+        assert len(colliders) == 4
+        assert all(e.namespace == "System.Web.UI.WebControls" for e in colliders)
+
+    def test_socket_error_values_collide_case_insensitively(self, dotnet_catalog):
+        socket_error = dotnet_catalog.require("System.Net.Sockets.SocketError")
+        lowered = [v.lower() for v in socket_error.enum_values]
+        assert len(lowered) != len(set(lowered))
+
+    def test_deterministic_rebuild(self, dotnet_catalog):
+        again = build_dotnet_catalog()
+        assert [e.full_name for e in again] == [e.full_name for e in dotnet_catalog]
+
+
+class TestQuickQuotas:
+    def test_quick_java_catalog_builds(self, quick_java_catalog):
+        assert len(quick_java_catalog) == QUICK_JAVA_QUOTAS.total
+        assert (
+            sum(1 for e in quick_java_catalog if _metro_binds(e))
+            == QUICK_JAVA_QUOTAS.metro_bindable
+        )
+
+    def test_quick_dotnet_catalog_builds(self, quick_dotnet_catalog):
+        assert len(quick_dotnet_catalog) == QUICK_DOTNET_QUOTAS.total
+        assert (
+            sum(1 for e in quick_dotnet_catalog if _wcf_binds(e))
+            == QUICK_DOTNET_QUOTAS.wcf_bindable
+        )
+
+    def test_quick_catalogs_keep_named_specials(self, quick_java_catalog, quick_dotnet_catalog):
+        assert "java.util.concurrent.Future" in quick_java_catalog
+        assert "System.Data.DataSet" in quick_dotnet_catalog
+
+
+class TestQuotaValidation:
+    def test_java_jboss_exceeding_metro_rejected(self):
+        with pytest.raises(ValueError):
+            JavaCatalogQuotas(metro_bindable=100, jbossws_bindable=200).validate()
+
+    def test_java_throwable_exceeding_bindables_rejected(self):
+        with pytest.raises(ValueError):
+            JavaCatalogQuotas(
+                metro_bindable=100, jbossws_bindable=90, throwable_metro=200
+            ).validate()
+
+    def test_java_default_valid(self):
+        JavaCatalogQuotas().validate()
+
+    def test_dotnet_keyref_exceeding_pool_rejected(self):
+        with pytest.raises(ValueError):
+            DotNetCatalogQuotas(dataset_schema_ref=5, schema_keyref=10).validate()
+
+    def test_dotnet_crashers_exceeding_script_pool_rejected(self):
+        with pytest.raises(ValueError):
+            DotNetCatalogQuotas(script_unfriendly=5, script_crasher=10).validate()
+
+    def test_dotnet_default_valid(self):
+        DotNetCatalogQuotas().validate()

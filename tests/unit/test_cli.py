@@ -1,0 +1,118 @@
+"""Unit tests for the wsinterop CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(["run", "--quick", "--csv", "x.csv"])
+        assert args.quick and args.csv == "x.csv"
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+
+    def test_corpus(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "3971" in out and "14082" in out and "22024" in out
+
+    def test_wsdl_prints_document(self, capsys):
+        assert main(["wsdl", "metro", "java.util.Date"]) == 0
+        out = capsys.readouterr().out
+        assert "<wsdl:definitions" in out
+
+    def test_wsdl_refused_type(self, capsys):
+        rc = main(["wsdl", "metro", "java.util.concurrent.Future"])
+        assert rc == 1
+        assert "refused" in capsys.readouterr().err
+
+    def test_check_failing_service_exits_2(self, capsys):
+        rc = main(["check", "metro", "java.text.SimpleDateFormat"])
+        assert rc == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_passing_service_exits_0(self, capsys):
+        rc = main(["check", "metro", "java.util.Date"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_lifecycle_success(self, capsys):
+        rc = main(["lifecycle", "metro", "java.util.Date", "--client", "suds"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution:     ok" in out
+
+    def test_lifecycle_failure_exit_code(self, capsys):
+        rc = main(
+            ["lifecycle", "wcf", "System.Data.DataSet", "--client", "metro"]
+        )
+        assert rc == 2
+        assert "generation:    error" in capsys.readouterr().out
+
+    def test_run_quick_with_exports(self, tmp_path, capsys):
+        csv_path = tmp_path / "cells.csv"
+        json_path = tmp_path / "out.json"
+        rc = main(
+            ["run", "--quick", "--csv", str(csv_path), "--json", str(json_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tests:" in out
+        assert csv_path.read_text().startswith("server,client")
+        payload = json.loads(json_path.read_text())
+        assert set(payload["servers"]) == {"metro", "jbossws", "wcf"}
+
+    def test_run_save_then_analyze(self, tmp_path, capsys):
+        saved = tmp_path / "saved.json"
+        assert main(["run", "--quick", "--save", str(saved)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "Headline numbers" in out
+
+    def test_experiments_quick_to_file(self, tmp_path, capsys):
+        output = tmp_path / "EXP.md"
+        assert main(["experiments", "--quick", "-o", str(output)]) == 0
+        assert output.read_text().startswith("# EXPERIMENTS")
+
+    def test_stats_quick(self, capsys):
+        assert main(["stats", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Error-cause taxonomy" in out
+        assert "odds ratio" in out
+
+    def test_lifecycle_campaign_quick(self, capsys):
+        assert main(["lifecycle-campaign", "--quick", "--sample", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Five-step lifecycle outcomes" in out
+        assert "completion ratio" in out
+
+    def test_matrix_quick(self, capsys):
+        assert main(["matrix", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Interoperability matrix" in out
+        assert "suds" in out
+
+    def test_report_quick(self, capsys):
+        rc = main(["report", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "Paper vs measured" in out

@@ -1,0 +1,503 @@
+"""Unit tests for the eleven client framework models.
+
+Each test deploys a purpose-built service on a real server model and
+asserts the documented tool behaviour — so it exercises the whole
+WSDL-emission → serialization → parsing → generation path.
+"""
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress, JBossAs
+from repro.artifacts import UnitKind
+from repro.frameworks.client import (
+    Axis1Client,
+    Axis2Client,
+    CxfClient,
+    DotNetCSharpClient,
+    DotNetJScriptClient,
+    DotNetVisualBasicClient,
+    GSoapClient,
+    JBossWsClient,
+    MetroClient,
+    SudsClient,
+    ZendClient,
+)
+from repro.services import ServiceDefinition
+from repro.typesystem import (
+    CtorVisibility,
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+)
+from repro.typesystem.model import (
+    properties_with_case_collision,
+    script_unfriendly_properties,
+)
+from repro.typesystem.synthesis import throwable_properties
+from repro.wsdl import read_wsdl_text
+
+
+def _deploy(container, type_info):
+    record = container.deploy(ServiceDefinition(type_info))
+    assert record.accepted, record.reason
+    return read_wsdl_text(record.wsdl_text)
+
+
+def _plain_java(name="Plain"):
+    return TypeInfo(Language.JAVA, "pkg", name,
+                    properties=(Property("size", SimpleType.INT),))
+
+
+def _plain_cs(name="Plain"):
+    return TypeInfo(Language.CSHARP, "System", name,
+                    properties=(Property("Size", SimpleType.INT),))
+
+
+@pytest.fixture()
+def plain_java_wsdl():
+    return _deploy(GlassFish(), _plain_java())
+
+
+@pytest.fixture()
+def async_wsdl():
+    future = TypeInfo(
+        Language.JAVA, "java.util.concurrent", "Future",
+        kind=TypeKind.INTERFACE, ctor=CtorVisibility.NONE,
+        traits=frozenset({Trait.ASYNC_HANDLE}),
+    )
+    return _deploy(JBossAs(), future)
+
+
+@pytest.fixture()
+def metro_epr_wsdl():
+    entry = TypeInfo(
+        Language.JAVA, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+        properties=(Property("address", SimpleType.URI),),
+        traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+    )
+    return _deploy(GlassFish(), entry)
+
+
+@pytest.fixture()
+def dataset_ref_wsdl():
+    entry = TypeInfo(
+        Language.CSHARP, "System.Data", "RowsHolder",
+        properties=(Property("TableName"),),
+        traits=frozenset({Trait.DATASET_SCHEMA_REF}),
+    )
+    return _deploy(IisExpress(), entry)
+
+
+ALL_CLIENTS = [
+    MetroClient, Axis1Client, Axis2Client, CxfClient, JBossWsClient,
+    DotNetCSharpClient, DotNetVisualBasicClient, DotNetJScriptClient,
+    GSoapClient, ZendClient, SudsClient,
+]
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("client_class", ALL_CLIENTS)
+    def test_plain_service_generates(self, client_class, plain_java_wsdl):
+        result = client_class().generate(plain_java_wsdl)
+        assert result.succeeded
+        assert result.bundle is not None
+
+    @pytest.mark.parametrize("client_class", ALL_CLIENTS)
+    def test_stub_exposes_the_echo_operation(self, client_class, plain_java_wsdl):
+        result = client_class().generate(plain_java_wsdl)
+        names = [m.name for m in result.bundle.operation_methods]
+        assert names == ["echoPlain"]
+
+    def test_bean_unit_mirrors_schema_type(self, plain_java_wsdl):
+        result = MetroClient().generate(plain_java_wsdl)
+        bean = result.bundle.unit("Plain")
+        assert bean is not None
+        assert bean.field_names() == ["size"]
+
+    def test_compiled_clients_compile_cleanly(self, plain_java_wsdl):
+        for client_class in (MetroClient, CxfClient, JBossWsClient,
+                             DotNetCSharpClient, GSoapClient):
+            client = client_class()
+            result = client.generate(plain_java_wsdl)
+            compiled = client.compiler.compile(result.bundle)
+            assert compiled.succeeded and not compiled.warnings
+
+
+class TestEmptyPortTypeBehaviours:
+    def test_metro_errors(self, async_wsdl):
+        result = MetroClient().generate(async_wsdl)
+        assert not result.succeeded
+        assert result.errors[0].code == "no-operations"
+
+    @pytest.mark.parametrize(
+        "client_class",
+        [Axis2Client, DotNetCSharpClient, DotNetVisualBasicClient,
+         DotNetJScriptClient, GSoapClient],
+    )
+    def test_strict_tools_error(self, client_class, async_wsdl):
+        assert not client_class().generate(async_wsdl).succeeded
+
+    @pytest.mark.parametrize("client_class", [Axis1Client, CxfClient, JBossWsClient])
+    def test_silent_tools_emit_empty_stub(self, client_class, async_wsdl):
+        result = client_class().generate(async_wsdl)
+        assert result.succeeded
+        assert not result.warnings
+        assert result.bundle.operation_methods == []
+
+    @pytest.mark.parametrize("client_class", [ZendClient, SudsClient])
+    def test_dynamic_tools_warn_about_methodless_client(self, client_class, async_wsdl):
+        result = client_class().generate(async_wsdl)
+        assert result.succeeded
+        assert any(d.code == "empty-client" for d in result.warnings)
+
+
+class TestImportResolution:
+    @pytest.mark.parametrize(
+        "client_class",
+        [MetroClient, Axis1Client, Axis2Client, CxfClient, JBossWsClient,
+         DotNetCSharpClient, SudsClient],
+    )
+    def test_strict_resolvers_error_on_locationless_import(
+        self, client_class, metro_epr_wsdl
+    ):
+        result = client_class().generate(metro_epr_wsdl)
+        assert any(d.code == "unresolved-import" for d in result.errors)
+
+    @pytest.mark.parametrize("client_class", [GSoapClient, ZendClient])
+    def test_tolerant_tools_accept_locationless_import(
+        self, client_class, metro_epr_wsdl
+    ):
+        assert client_class().generate(metro_epr_wsdl).succeeded
+
+
+class TestDanglingReferences:
+    @pytest.fixture()
+    def jboss_epr_wsdl(self):
+        entry = TypeInfo(
+            Language.JAVA, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+            traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+        )
+        return _deploy(JBossAs(), entry)
+
+    @pytest.mark.parametrize(
+        "client_class",
+        [MetroClient, Axis1Client, CxfClient, JBossWsClient,
+         DotNetCSharpClient, SudsClient],
+    )
+    def test_strict_tools_error(self, client_class, jboss_epr_wsdl):
+        result = client_class().generate(jboss_epr_wsdl)
+        assert any(d.code == "undefined-element" for d in result.errors)
+
+    @pytest.mark.parametrize("client_class", [Axis2Client, GSoapClient, ZendClient])
+    def test_tolerant_tools_accept(self, client_class, jboss_epr_wsdl):
+        assert client_class().generate(jboss_epr_wsdl).succeeded
+
+
+class TestSchemaInInstance:
+    def test_jaxb_tools_report_undefined_s_schema(self, dataset_ref_wsdl):
+        result = MetroClient().generate(dataset_ref_wsdl)
+        assert not result.succeeded
+        assert "undefined element declaration 's:schema'" in result.errors[0].message
+
+    def test_dotnet_handles_natively(self, dataset_ref_wsdl):
+        assert DotNetCSharpClient().generate(dataset_ref_wsdl).succeeded
+
+    def test_axis_maps_to_anytype(self, dataset_ref_wsdl):
+        result = Axis1Client().generate(dataset_ref_wsdl)
+        assert result.succeeded
+        bean = result.bundle.unit("RowsHolder")
+        assert "schema" in bean.field_names()
+
+    def test_suds_tolerates(self, dataset_ref_wsdl):
+        assert SudsClient().generate(dataset_ref_wsdl).succeeded
+
+
+class TestAttributeValidation:
+    @pytest.fixture()
+    def metro_sdf_wsdl(self):
+        entry = TypeInfo(
+            Language.JAVA, "java.text", "SimpleDateFormat",
+            properties=(Property("pattern"),),
+            traits=frozenset({Trait.LOCALE_FORMAT}),
+        )
+        return _deploy(GlassFish(), entry)
+
+    @pytest.fixture()
+    def jboss_sdf_wsdl(self):
+        entry = TypeInfo(
+            Language.JAVA, "java.text", "SimpleDateFormat",
+            properties=(Property("pattern"),),
+            traits=frozenset({Trait.LOCALE_FORMAT}),
+        )
+        return _deploy(JBossAs(), entry)
+
+    @pytest.mark.parametrize(
+        "client_class",
+        [DotNetCSharpClient, DotNetVisualBasicClient, DotNetJScriptClient, GSoapClient],
+    )
+    def test_validators_reject_duplicate_attribute(self, client_class, metro_sdf_wsdl):
+        result = client_class().generate(metro_sdf_wsdl)
+        assert any(d.code == "duplicate-attribute" for d in result.errors)
+
+    @pytest.mark.parametrize(
+        "client_class", [MetroClient, Axis1Client, CxfClient, SudsClient, ZendClient]
+    )
+    def test_jaxb_family_tolerates_duplicate_attribute(
+        self, client_class, metro_sdf_wsdl
+    ):
+        assert client_class().generate(metro_sdf_wsdl).succeeded
+
+    @pytest.mark.parametrize(
+        "client_class",
+        [DotNetCSharpClient, DotNetVisualBasicClient, DotNetJScriptClient],
+    )
+    def test_dotnet_rejects_notation_attribute(self, client_class, jboss_sdf_wsdl):
+        result = client_class().generate(jboss_sdf_wsdl)
+        assert any(d.code == "invalid-attribute-type" for d in result.errors)
+
+    def test_gsoap_tolerates_notation(self, jboss_sdf_wsdl):
+        assert GSoapClient().generate(jboss_sdf_wsdl).succeeded
+
+
+class TestWildcards:
+    @pytest.fixture()
+    def any_wsdl(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Data", "DataSetLike",
+            properties=(Property("TableName"),),
+            traits=frozenset({Trait.ANY_CONTENT, Trait.MIXED_CONTENT}),
+        )
+        return _deploy(IisExpress(), entry)
+
+    @pytest.mark.parametrize(
+        "client_class", [MetroClient, CxfClient, JBossWsClient, Axis1Client]
+    )
+    def test_lax_wildcard_rejected(self, client_class, any_wsdl):
+        result = client_class().generate(any_wsdl)
+        assert any(d.code == "wildcard-unsupported" for d in result.errors)
+
+    def test_axis2_generates_duplicate_fields_for_mixed(self, any_wsdl):
+        client = Axis2Client()
+        result = client.generate(any_wsdl)
+        assert result.succeeded
+        compiled = client.compiler.compile(result.bundle)
+        assert any(d.code == "duplicate-member" for d in compiled.errors)
+
+    def test_dotnet_and_gsoap_accept(self, any_wsdl):
+        assert DotNetCSharpClient().generate(any_wsdl).succeeded
+        assert GSoapClient().generate(any_wsdl).succeeded
+
+
+class TestKeyrefAndRecursion:
+    def test_gsoap_rejects_keyref(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Data", "KeyedRows",
+            traits=frozenset({Trait.DATASET_SCHEMA_REF, Trait.SCHEMA_KEYREF}),
+        )
+        document = _deploy(IisExpress(), entry)
+        result = GSoapClient().generate(document)
+        assert any(d.code == "keyref-unsupported" for d in result.errors)
+        assert "soapcpp2" in result.errors[-1].message
+
+    def test_suds_fails_on_recursive_schema(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Data", "SelfRows",
+            traits=frozenset({Trait.DATASET_SCHEMA_REF, Trait.RECURSIVE_SCHEMA_REF}),
+        )
+        document = _deploy(IisExpress(), entry)
+        result = SudsClient().generate(document)
+        assert any(d.code == "recursive-reference" for d in result.errors)
+
+    def test_axis_unbothered_by_recursion(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Data", "SelfRows",
+            traits=frozenset({Trait.DATASET_SCHEMA_REF, Trait.RECURSIVE_SCHEMA_REF}),
+        )
+        document = _deploy(IisExpress(), entry)
+        client = Axis2Client()
+        result = client.generate(document)
+        assert result.succeeded
+        assert client.compiler.compile(result.bundle).succeeded
+
+
+class TestCodegenBugs:
+    def test_axis1_throwable_wrapper_bug(self):
+        entry = TypeInfo(
+            Language.JAVA, "java.io", "StreamClosedException",
+            properties=throwable_properties(),
+            traits=frozenset({Trait.THROWABLE}),
+        )
+        document = _deploy(GlassFish(), entry)
+        client = Axis1Client()
+        result = client.generate(document)
+        assert result.succeeded
+        compiled = client.compiler.compile(result.bundle)
+        assert any(
+            d.code == "unresolved-symbol" and "faultDetail" in d.message
+            for d in compiled.errors
+        )
+
+    def test_axis1_heuristic_needs_message_property(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Net.Sockets", "SocketThing",
+            properties=(Property("Size", SimpleType.INT),),
+        )
+        document = _deploy(IisExpress(), entry)
+        client = Axis1Client()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert compiled.succeeded
+
+    def test_axis2_acronym_bug_on_xml_calendar(self):
+        entry = TypeInfo(
+            Language.JAVA, "javax.xml.datatype", "XMLGregorianCalendar",
+            properties=(Property("year", SimpleType.INT),),
+            traits=frozenset({Trait.XML_CALENDAR}),
+        )
+        document = _deploy(GlassFish(), entry)
+        client = Axis2Client()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert any("localXMLGregorianCalendar" in d.message for d in compiled.errors)
+
+    def test_axis2_acronym_bug_spares_ioexception(self):
+        entry = TypeInfo(
+            Language.JAVA, "java.io", "IOException",
+            properties=throwable_properties(),
+            traits=frozenset({Trait.THROWABLE}),
+        )
+        document = _deploy(GlassFish(), entry)
+        client = Axis2Client()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert compiled.succeeded
+
+    def test_axis2_enum_normalization_collision(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Net.Sockets", "SocketError",
+            kind=TypeKind.ENUM,
+            enum_values=("InProgress", "inProgress", "TimedOut"),
+            traits=frozenset({Trait.CASE_COLLIDING_ENUM}),
+        )
+        document = _deploy(IisExpress(), entry)
+        client = Axis2Client()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert any(d.code == "duplicate-enum-constant" for d in compiled.errors)
+
+    def test_dotnet_enum_constants_deduplicated(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Net.Sockets", "SocketError",
+            kind=TypeKind.ENUM,
+            enum_values=("InProgress", "inProgress"),
+            traits=frozenset({Trait.CASE_COLLIDING_ENUM}),
+        )
+        document = _deploy(IisExpress(), entry)
+        client = DotNetVisualBasicClient()
+        result = client.generate(document)
+        compiled = client.compiler.compile(result.bundle)
+        assert compiled.succeeded
+        enum_unit = result.bundle.unit("SocketError")
+        assert enum_unit.enum_constants == ["InProgress", "inProgress1"]
+
+    def test_vb_case_collision_compile_error(self):
+        entry = TypeInfo(
+            Language.JAVA, "java.beans", "FeatureDescriptor",
+            properties=properties_with_case_collision(),
+            traits=frozenset({Trait.CASE_COLLIDING_PROPERTIES}),
+        )
+        document = _deploy(GlassFish(), entry)
+        client = DotNetVisualBasicClient()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert any(d.code == "duplicate-member" for d in compiled.errors)
+
+    def test_csharp_unaffected_by_case_collision(self):
+        entry = TypeInfo(
+            Language.JAVA, "java.beans", "FeatureDescriptor",
+            properties=properties_with_case_collision(),
+            traits=frozenset({Trait.CASE_COLLIDING_PROPERTIES}),
+        )
+        document = _deploy(GlassFish(), entry)
+        client = DotNetCSharpClient()
+        assert client.compiler.compile(client.generate(document).bundle).succeeded
+
+    def test_jscript_missing_helper(self):
+        entry = TypeInfo(
+            Language.JAVA, "pkg", "Segmented",
+            properties=script_unfriendly_properties(depth=2),
+            traits=frozenset({Trait.SCRIPT_UNFRIENDLY}),
+        )
+        document = _deploy(GlassFish(), entry)
+        client = DotNetJScriptClient()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert any("ToNullableArray" in d.message for d in compiled.errors)
+
+    def test_jscript_compiler_crash_on_deep_shapes(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System", "DeepSegments",
+            properties=script_unfriendly_properties(depth=5),
+            traits=frozenset({Trait.SCRIPT_UNFRIENDLY, Trait.SCRIPT_CRASHER}),
+        )
+        document = _deploy(IisExpress(), entry)
+        client = DotNetJScriptClient()
+        compiled = client.compiler.compile(client.generate(document).bundle)
+        assert compiled.errors[0].message == "131 INTERNAL COMPILER CRASH"
+
+
+class TestToolChatter:
+    def test_jscript_warns_on_java_wsdls(self, plain_java_wsdl):
+        result = DotNetJScriptClient().generate(plain_java_wsdl)
+        assert any(d.code == "unknown-extension" for d in result.warnings)
+
+    def test_jscript_quiet_on_own_platform(self):
+        document = _deploy(IisExpress(), _plain_cs())
+        result = DotNetJScriptClient().generate(document)
+        assert not result.warnings
+
+    def test_csharp_quiet_on_java_wsdls(self, plain_java_wsdl):
+        assert not DotNetCSharpClient().generate(plain_java_wsdl).warnings
+
+    def test_dotnet_warns_on_id_attribute(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Data", "WarnRows",
+            traits=frozenset({Trait.DATASET_SCHEMA_REF, Trait.SELF_WARN}),
+        )
+        document = _deploy(IisExpress(), entry)
+        result = DotNetCSharpClient().generate(document)
+        assert result.succeeded
+        assert any(d.code == "schema-validation" for d in result.warnings)
+
+    def test_axis_raw_helper_warns_every_compile(self, plain_java_wsdl):
+        for client in (Axis1Client(), Axis2Client()):
+            compiled = client.compiler.compile(client.generate(plain_java_wsdl).bundle)
+            assert len(compiled.warnings) == 1
+            assert "unchecked" in compiled.warnings[0].message
+
+    def test_axis_partial_output_still_compiles(self, metro_epr_wsdl):
+        client = Axis1Client()
+        result = client.generate(metro_epr_wsdl)
+        assert not result.succeeded
+        assert result.bundle is not None and result.bundle.partial
+        compiled = client.compiler.compile(result.bundle)
+        assert compiled.succeeded and compiled.warnings
+
+    def test_non_axis_tools_produce_no_partial_output(self, metro_epr_wsdl):
+        result = MetroClient().generate(metro_epr_wsdl)
+        assert result.bundle is None
+
+
+class TestDynamicClients:
+    def test_proxy_unit_kind(self, plain_java_wsdl):
+        result = SudsClient().generate(plain_java_wsdl)
+        proxies = [u for u in result.bundle.units if u.kind is UnitKind.PROXY]
+        assert proxies
+
+    def test_instantiate_flags_empty_bundle(self):
+        client = ZendClient()
+        assert client.instantiate(None)
+        assert client.instantiate(None)[0].code == "empty-client"
+
+    def test_table2_metadata(self):
+        assert not ZendClient.requires_compilation
+        assert not SudsClient.requires_compilation
+        assert ZendClient.language == "PHP"
+        assert SudsClient.language == "Python"

@@ -1,0 +1,180 @@
+"""Unit tests for the compiler simulators."""
+
+import pytest
+
+from repro.artifacts import ArtifactBundle, CodeUnit, FieldDecl, MethodDecl, UnitKind
+from repro.compilers import (
+    CppCompiler,
+    CSharpCompiler,
+    JavaCompiler,
+    JScriptCompiler,
+    VisualBasicCompiler,
+)
+
+
+def _bundle(*units):
+    bundle = ArtifactBundle(tool="t", service="s")
+    bundle.units.extend(units)
+    return bundle
+
+
+def _bean(name="Bean", language="java", **kwargs):
+    return CodeUnit(name, UnitKind.BEAN, language, **kwargs)
+
+
+class TestJavaCompiler:
+    def test_clean_unit_compiles(self):
+        result = JavaCompiler().compile(_bundle(_bean(fields=[FieldDecl("a", "int")])))
+        assert result.succeeded
+        assert not result.warnings
+
+    def test_duplicate_field_is_error(self):
+        unit = _bean(fields=[FieldDecl("a", "int"), FieldDecl("a", "long")])
+        result = JavaCompiler().compile(_bundle(unit))
+        assert not result.succeeded
+        assert result.errors[0].code == "duplicate-member"
+
+    def test_case_differing_fields_allowed(self):
+        unit = _bean(fields=[FieldDecl("value", "int"), FieldDecl("Value", "int")])
+        assert JavaCompiler().compile(_bundle(unit)).succeeded
+
+    def test_unresolved_reference_is_error(self):
+        unit = _bean(methods=[MethodDecl("getX", references=("ghost",))])
+        result = JavaCompiler().compile(_bundle(unit))
+        assert result.errors[0].code == "unresolved-symbol"
+        assert "ghost" in result.errors[0].message
+
+    def test_reference_to_own_field_resolves(self):
+        unit = _bean(
+            fields=[FieldDecl("detail", "String")],
+            methods=[MethodDecl("getDetail", references=("detail",))],
+        )
+        assert JavaCompiler().compile(_bundle(unit)).succeeded
+
+    def test_reference_to_sibling_unit_resolves(self):
+        stub = CodeUnit(
+            "Stub", UnitKind.STUB, "java",
+            methods=[MethodDecl("echo", references=("Bean",))],
+        )
+        assert JavaCompiler().compile(_bundle(_bean(), stub)).succeeded
+
+    def test_reference_to_param_resolves(self):
+        from repro.artifacts import ParamDecl
+
+        unit = _bean(
+            methods=[
+                MethodDecl("setX", params=(ParamDecl("x", "int"),), references=("x",))
+            ]
+        )
+        assert JavaCompiler().compile(_bundle(unit)).succeeded
+
+    def test_raw_type_warns_once_per_compile(self):
+        units = [
+            _bean("A", fields=[FieldDecl("l", "ArrayList", raw_type=True)]),
+            _bean("B", fields=[FieldDecl("m", "ArrayList", raw_type=True)]),
+        ]
+        result = JavaCompiler().compile(_bundle(*units))
+        assert result.succeeded
+        assert len(result.warnings) == 1
+        assert "unchecked or unsafe" in result.warnings[0].message
+
+    def test_duplicate_enum_constant_is_error(self):
+        unit = CodeUnit(
+            "E", UnitKind.ENUM, "java", enum_constants=["A", "B", "A"]
+        )
+        result = JavaCompiler().compile(_bundle(unit))
+        assert result.errors[0].code == "duplicate-enum-constant"
+
+
+class TestVisualBasicCompiler:
+    def test_case_insensitive_field_collision(self):
+        unit = _bean(
+            language="vb",
+            fields=[FieldDecl("Text", "String"), FieldDecl("text", "String")],
+        )
+        result = VisualBasicCompiler().compile(_bundle(unit))
+        assert not result.succeeded
+        assert result.errors[0].code == "duplicate-member"
+
+    def test_field_method_collision_case_insensitive(self):
+        unit = _bean(
+            language="vb",
+            fields=[FieldDecl("value", "String")],
+            methods=[MethodDecl("VALUE")],
+        )
+        result = VisualBasicCompiler().compile(_bundle(unit))
+        assert result.errors[0].code == "member-method-collision"
+
+    def test_case_insensitive_reference_resolution(self):
+        unit = _bean(
+            language="vb",
+            fields=[FieldDecl("Detail", "String")],
+            methods=[MethodDecl("GetDetail", references=("detail",))],
+        )
+        assert VisualBasicCompiler().compile(_bundle(unit)).succeeded
+
+
+class TestCSharpCompiler:
+    def test_case_differing_members_allowed(self):
+        unit = _bean(
+            language="csharp",
+            fields=[FieldDecl("Text", "string"), FieldDecl("text", "string")],
+        )
+        assert CSharpCompiler().compile(_bundle(unit)).succeeded
+
+    def test_no_raw_type_warnings(self):
+        unit = _bean(
+            language="csharp",
+            fields=[FieldDecl("l", "ArrayList", raw_type=True)],
+        )
+        assert not CSharpCompiler().compile(_bundle(unit)).warnings
+
+
+class TestJScriptCompiler:
+    def test_crash_flag_produces_internal_crash(self):
+        unit = _bean(language="jscript")
+        unit.flags.add("crash-compiler")
+        result = JScriptCompiler().compile(_bundle(unit))
+        assert not result.succeeded
+        assert result.errors[0].message == "131 INTERNAL COMPILER CRASH"
+
+    def test_crash_preempts_other_checks(self):
+        crasher = _bean("A", language="jscript")
+        crasher.flags.add("crash-compiler")
+        broken = _bean(
+            "B", language="jscript",
+            methods=[MethodDecl("f", references=("ghost",))],
+        )
+        result = JScriptCompiler().compile(_bundle(crasher, broken))
+        assert len(result.errors) == 1
+
+    def test_missing_helper_is_unresolved(self):
+        unit = _bean(
+            language="jscript",
+            methods=[MethodDecl("FromXml", references=("ToNullableArray",))],
+        )
+        result = JScriptCompiler().compile(_bundle(unit))
+        assert result.errors[0].code == "unresolved-symbol"
+
+
+class TestCppCompiler:
+    def test_gsoap_builtins_resolve(self):
+        unit = CodeUnit(
+            "Header", UnitKind.HEADER, "cpp",
+            methods=[MethodDecl("call", references=("soap", "_XML"))],
+        )
+        assert CppCompiler().compile(_bundle(unit)).succeeded
+
+
+@pytest.mark.parametrize(
+    "compiler_class,name",
+    [
+        (JavaCompiler, "javac"),
+        (CSharpCompiler, "csc"),
+        (VisualBasicCompiler, "vbc"),
+        (JScriptCompiler, "jsc"),
+        (CppCompiler, "g++"),
+    ],
+)
+def test_compiler_names(compiler_class, name):
+    assert compiler_class().name == name

@@ -1,0 +1,186 @@
+"""Unit tests for the campaign core (outcomes, pipeline, results)."""
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress, JBossAs
+from repro.core.outcomes import (
+    ClientTestRecord,
+    NOT_APPLICABLE_OUTCOME,
+    SKIPPED_OUTCOME,
+    StepOutcome,
+    StepStatus,
+    classify,
+)
+from repro.core.pipeline import run_client_test
+from repro.core.results import CampaignResult, CellStats, ServerRunReport
+from repro.frameworks.client import (
+    Axis1Client,
+    MetroClient,
+    SudsClient,
+)
+from repro.services import ServiceDefinition
+from repro.typesystem import (
+    CtorVisibility,
+    Language,
+    Property,
+    Trait,
+    TypeInfo,
+    TypeKind,
+)
+from repro.typesystem.synthesis import throwable_properties
+from repro.wsdl import read_wsdl_text
+
+
+def _document(container, type_info):
+    record = container.deploy(ServiceDefinition(type_info))
+    assert record.accepted
+    return read_wsdl_text(record.wsdl_text)
+
+
+class TestClassification:
+    def test_ok(self):
+        outcome = classify(0, 0)
+        assert outcome.status is StepStatus.OK
+        assert not outcome.has_error and not outcome.has_warning
+
+    def test_warning(self):
+        outcome = classify(0, 2, codes=("w",))
+        assert outcome.status is StepStatus.WARNING
+        assert outcome.warning_count == 2
+
+    def test_error_trumps_warning(self):
+        outcome = classify(1, 2)
+        assert outcome.status is StepStatus.ERROR
+        assert outcome.has_error and outcome.has_warning
+
+    def test_executed_flags(self):
+        assert classify(0, 0).executed
+        assert not SKIPPED_OUTCOME.executed
+        assert not NOT_APPLICABLE_OUTCOME.executed
+
+
+class TestPipeline:
+    def test_clean_combination(self):
+        document = _document(GlassFish(), TypeInfo(
+            Language.JAVA, "pkg", "Plain", properties=(Property("size"),)
+        ))
+        record = run_client_test("metro", "metro", MetroClient(), document)
+        assert record.generation.status is StepStatus.OK
+        assert record.compilation.status is StepStatus.OK
+        assert record.error_free
+
+    def test_generation_error_skips_compilation(self):
+        epr = TypeInfo(
+            Language.JAVA, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+            traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+        )
+        document = _document(GlassFish(), epr)
+        record = run_client_test("metro", "metro", MetroClient(), document)
+        assert record.generation.status is StepStatus.ERROR
+        assert record.compilation.status is StepStatus.SKIPPED
+
+    def test_axis_partial_output_compiles_with_warning(self):
+        epr = TypeInfo(
+            Language.JAVA, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+            traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+        )
+        document = _document(GlassFish(), epr)
+        record = run_client_test("metro", "axis1", Axis1Client(), document)
+        assert record.generation.status is StepStatus.ERROR
+        assert record.compilation.status is StepStatus.WARNING
+
+    def test_compilation_error_classified(self):
+        throwable = TypeInfo(
+            Language.JAVA, "java.io", "LateError",
+            properties=throwable_properties(),
+            traits=frozenset({Trait.THROWABLE}),
+        )
+        document = _document(GlassFish(), throwable)
+        record = run_client_test("metro", "axis1", Axis1Client(), document)
+        assert record.generation.status is StepStatus.WARNING or record.generation.status is StepStatus.OK
+        assert record.compilation.status is StepStatus.ERROR
+        assert record.has_error
+
+    def test_dynamic_tool_compilation_not_applicable(self):
+        document = _document(GlassFish(), TypeInfo(
+            Language.JAVA, "pkg", "Plain", properties=(Property("size"),)
+        ))
+        record = run_client_test("metro", "suds", SudsClient(), document)
+        assert record.compilation.status is StepStatus.NOT_APPLICABLE
+
+    def test_codes_recorded(self):
+        epr = TypeInfo(
+            Language.JAVA, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+            traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+        )
+        document = _document(GlassFish(), epr)
+        record = run_client_test("metro", "metro", MetroClient(), document)
+        assert "unresolved-import" in record.generation.codes
+
+
+def _record(server="s", client="c", gen=(0, 0), comp=(0, 0)):
+    return ClientTestRecord(
+        server_id=server,
+        client_id=client,
+        service_name="svc",
+        generation=classify(*gen),
+        compilation=classify(*comp),
+    )
+
+
+class TestCellStats:
+    def test_counts_tests_not_diagnostics(self):
+        cell = CellStats()
+        cell.add(_record(gen=(3, 2)))
+        assert cell.gen_error_tests == 1
+        assert cell.gen_warning_tests == 1
+        assert cell.tests == 1
+
+    def test_as_row_order(self):
+        cell = CellStats()
+        cell.add(_record(gen=(0, 1), comp=(1, 0)))
+        assert cell.as_row() == (1, 0, 0, 1)
+
+    def test_error_tests_sums_both_steps(self):
+        cell = CellStats()
+        cell.add(_record(gen=(1, 0)))
+        cell.add(_record(comp=(1, 0)))
+        assert cell.error_tests == 2
+
+
+class TestCampaignResult:
+    def test_add_record_indexes_cells(self):
+        result = CampaignResult(server_ids=("s",), client_ids=("c",))
+        result.add_record(_record())
+        result.add_record(_record(gen=(1, 0)))
+        assert result.cell("s", "c").tests == 2
+        assert result.cell("s", "c").gen_error_tests == 1
+
+    def test_fig4_series_aggregates_clients(self):
+        result = CampaignResult(server_ids=("s",), client_ids=("a", "b"))
+        result.servers["s"] = ServerRunReport(server_id="s", deployed=2)
+        result.add_record(_record(client="a", gen=(1, 1)))
+        result.add_record(_record(client="b", comp=(0, 1)))
+        series = result.fig4_series("s")
+        assert series["gen_errors"] == 1
+        assert series["gen_warnings"] == 1
+        assert series["comp_warnings"] == 1
+
+    def test_totals_shape(self):
+        result = CampaignResult(server_ids=("s",), client_ids=("a",))
+        result.servers["s"] = ServerRunReport(
+            server_id="s", services_total=3, deployed=2, refused=1
+        )
+        result.add_record(_record(client="a", gen=(1, 0)))
+        totals = result.totals()
+        assert totals["tests"] == 1
+        assert totals["services_created"] == 3
+        assert totals["services_refused"] == 1
+        assert totals["error_situations"] == 1
+
+    def test_sdg_warning_sets(self):
+        report = ServerRunReport(server_id="s")
+        report.wsi_failing.add("A")
+        report.wsi_advisory_only.add("B")
+        assert report.sdg_warnings == 2
+        assert report.sdg_errors == 0

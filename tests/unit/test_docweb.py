@@ -1,0 +1,84 @@
+"""Unit tests for the documentation site and crawler."""
+
+from repro.docweb import DocCrawler, build_site, harvest_type_names
+from repro.typesystem import Catalog, Language, Property, TypeInfo
+
+
+def _small_catalog():
+    entries = [
+        TypeInfo(Language.JAVA, "java.util", "Date",
+                 properties=(Property("time"),)),
+        TypeInfo(Language.JAVA, "java.util", "BitSet"),
+        TypeInfo(Language.JAVA, "java.io", "File"),
+    ]
+    return Catalog(Language.JAVA, entries)
+
+
+class TestSite:
+    def test_page_layout(self):
+        site = build_site(_small_catalog())
+        assert "/index.html" in site
+        assert "/packages/java.util.html" in site
+        assert "/types/java.util.Date.html" in site
+        # 1 index + 2 packages + 3 types
+        assert len(site) == 6
+
+    def test_index_links_packages(self):
+        site = build_site(_small_catalog())
+        index = site.get("/index.html")
+        assert "/packages/java.util.html" in index
+        assert "/packages/java.io.html" in index
+
+    def test_type_page_carries_kind_and_members(self):
+        site = build_site(_small_catalog())
+        page = site.get("/types/java.util.Date.html")
+        assert 'data-kind="class"' in page
+        assert "<code>time</code>" in page
+
+    def test_missing_page_is_none(self):
+        site = build_site(_small_catalog())
+        assert site.get("/nope.html") is None
+
+    def test_duplicate_page_rejected(self):
+        site = build_site(_small_catalog())
+        try:
+            site.add_page("/index.html", "<html/>")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestCrawler:
+    def test_harvests_every_type(self):
+        catalog = _small_catalog()
+        names = harvest_type_names(catalog)
+        assert names == sorted(e.full_name for e in catalog)
+
+    def test_crawl_counts_pages(self):
+        site = build_site(_small_catalog())
+        stats = DocCrawler(site).crawl()
+        assert stats.pages_fetched == len(site)
+        assert stats.pages_missing == 0
+
+    def test_max_pages_bounds_crawl(self):
+        site = build_site(_small_catalog())
+        stats = DocCrawler(site, max_pages=2).crawl()
+        assert stats.pages_fetched == 2
+
+    def test_external_links_not_followed(self):
+        site = build_site(_small_catalog())
+        site._pages["/index.html"] += '<a href="https://example.com/x">ext</a>'
+        stats = DocCrawler(site).crawl()
+        assert stats.pages_missing == 0
+
+    def test_dead_internal_link_counted_missing(self):
+        site = build_site(_small_catalog())
+        site._pages["/index.html"] += '<a href="/gone.html">dead</a>'
+        stats = DocCrawler(site).crawl()
+        assert stats.pages_missing == 1
+
+    def test_full_java_harvest_matches_catalog(self, java_catalog):
+        names = harvest_type_names(java_catalog)
+        assert len(names) == len(java_catalog)
+        assert set(names) == {e.full_name for e in java_catalog}

@@ -1,0 +1,158 @@
+"""Fine-grained tests of the generation engine's internals."""
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress
+from repro.frameworks.client import (
+    Axis2Client,
+    DotNetJScriptClient,
+    DotNetVisualBasicClient,
+    GSoapClient,
+    MetroClient,
+)
+from repro.frameworks.client.engine import _TYPE_MAPS, _array_type
+from repro.services import ServiceDefinition
+from repro.typesystem import (
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+)
+from repro.typesystem.model import script_unfriendly_properties
+from repro.wsdl import read_wsdl_text
+
+
+def _deploy_java(entry):
+    record = GlassFish().deploy(ServiceDefinition(entry))
+    assert record.accepted
+    return read_wsdl_text(record.wsdl_text)
+
+
+class TestTypeMaps:
+    @pytest.mark.parametrize("lang", ["java", "csharp", "vb", "jscript", "cpp"])
+    def test_core_builtins_mapped(self, lang):
+        mapping = _TYPE_MAPS[lang]
+        for xsd_local in ("string", "int", "boolean", "dateTime", "base64Binary"):
+            assert xsd_local in mapping, (lang, xsd_local)
+
+    def test_java_specifics(self):
+        assert _TYPE_MAPS["java"]["decimal"] == "BigDecimal"
+        assert _TYPE_MAPS["java"]["base64Binary"] == "byte[]"
+
+    def test_vb_capitalizes_primitives(self):
+        assert _TYPE_MAPS["vb"]["int"] == "Int"
+        assert _TYPE_MAPS["vb"]["string"] == "String"
+
+    def test_cpp_uses_std_types(self):
+        assert _TYPE_MAPS["cpp"]["string"] == "std::string"
+
+    def test_array_rendering_idioms(self):
+        assert _array_type(MetroClient(), "String") == "String[]"
+        assert _array_type(DotNetVisualBasicClient(), "String") == "String()"
+        assert _array_type(GSoapClient(), "std::string") == "std::vector<std::string>"
+
+
+class TestBeanShapes:
+    def test_field_per_particle(self):
+        entry = TypeInfo(
+            Language.JAVA, "pkg", "Rich",
+            properties=(
+                Property("name", SimpleType.STRING),
+                Property("count", SimpleType.INT),
+                Property("rates", SimpleType.DOUBLE, is_array=True),
+            ),
+        )
+        document = _deploy_java(entry)
+        bean = MetroClient().generate(document).bundle.unit("Rich")
+        assert bean.field_names() == ["name", "count", "rates"]
+        assert bean.fields[2].type_text == "double[]"
+
+    def test_axis2_local_prefix_convention(self):
+        entry = TypeInfo(
+            Language.JAVA, "pkg", "Simple",
+            properties=(Property("label"),),
+        )
+        document = _deploy_java(entry)
+        bean = Axis2Client().generate(document).bundle.unit("Simple")
+        assert bean.field_names() == ["local_label"]
+
+    def test_enum_unit_preserves_values_for_metro(self):
+        record = IisExpress().deploy(
+            ServiceDefinition(
+                TypeInfo(
+                    Language.CSHARP, "System", "Level",
+                    kind=TypeKind.ENUM,
+                    enum_values=("Low", "High"),
+                )
+            )
+        )
+        document = read_wsdl_text(record.wsdl_text)
+        unit = MetroClient().generate(document).bundle.unit("Level")
+        assert unit.enum_constants == ["Low", "High"]
+
+
+class TestJScriptCrashBoundary:
+    def _document_with_depth(self, depth):
+        entry = TypeInfo(
+            Language.JAVA, "pkg", f"Depth{depth}",
+            properties=script_unfriendly_properties(depth=depth),
+            traits=frozenset({Trait.SCRIPT_UNFRIENDLY}),
+        )
+        return _deploy_java(entry)
+
+    @pytest.mark.parametrize("depth,expect_crash", [(1, False), (3, False), (4, True), (6, True)])
+    def test_crash_threshold_is_four_nullable_arrays(self, depth, expect_crash):
+        client = DotNetJScriptClient()
+        result = client.generate(self._document_with_depth(depth))
+        compiled = client.compiler.compile(result.bundle)
+        crashed = any(d.code == "crash" for d in compiled.errors)
+        assert crashed == expect_crash
+        # Below the crash threshold the missing-helper bug still bites.
+        if not expect_crash:
+            assert any(d.code == "unresolved-symbol" for d in compiled.errors)
+
+    def test_non_nillable_arrays_are_safe(self):
+        entry = TypeInfo(
+            Language.JAVA, "pkg", "SafeArrays",
+            properties=(
+                Property("a", SimpleType.INT, is_array=True),
+                Property("b", SimpleType.INT, is_array=True),
+            ),
+        )
+        client = DotNetJScriptClient()
+        result = client.generate(_deploy_java(entry))
+        assert client.compiler.compile(result.bundle).succeeded
+
+    def test_nillable_string_arrays_are_safe(self):
+        entry = TypeInfo(
+            Language.JAVA, "pkg", "Strings",
+            properties=(
+                Property("a", SimpleType.STRING, is_array=True,
+                         nillable_value=True),
+            ),
+        )
+        client = DotNetJScriptClient()
+        result = client.generate(_deploy_java(entry))
+        assert client.compiler.compile(result.bundle).succeeded
+
+
+class TestStubShapes:
+    def test_stub_named_after_service(self):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        document = _deploy_java(entry)
+        bundle = MetroClient().generate(document).bundle
+        stub = bundle.units[-1]
+        assert stub.name.endswith("Stub")
+        assert stub.name.startswith("Echo")
+
+    def test_stub_parameter_typed_by_bean(self):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        document = _deploy_java(entry)
+        bundle = MetroClient().generate(document).bundle
+        method = bundle.operation_methods[0]
+        assert method.params[0].type_text == "Plain"
+        assert method.returns == "Plain"

@@ -1,0 +1,176 @@
+"""Failure-injection tests: feed the stack broken inputs on purpose."""
+
+import pytest
+
+from repro.appservers import GlassFish
+from repro.frameworks.client import MetroClient, SudsClient
+from repro.frameworks.client.engine import (
+    _camel_to_upper_snake,
+    _has_reference_cycle,
+)
+from repro.runtime import EchoServiceEndpoint, InMemoryHttpTransport
+from repro.services import ServiceDefinition
+from repro.soap.envelope import serialize_envelope
+from repro.typesystem import Language, Property, TypeInfo
+from repro.wsdl import WsdlDocument, read_wsdl_text
+from repro.wsdl.model import SoapBindingInfo
+from repro.xmlcore import Element, QName, XSD_NS
+from repro.xsd import ComplexType, ElementDecl, ElementParticle, RefParticle, Schema
+
+
+def _deployed():
+    entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                     properties=(Property("size"),))
+    record = GlassFish().deploy(ServiceDefinition(entry))
+    return record
+
+
+class TestMalformedWsdlInputs:
+    def test_truncated_wsdl_text_raises_parse_error(self):
+        from repro.xmlcore import XmlParseError
+
+        record = _deployed()
+        with pytest.raises(XmlParseError):
+            read_wsdl_text(record.wsdl_text[: len(record.wsdl_text) // 2])
+
+    def test_wsdl_with_operations_but_no_messages(self):
+        """A silently inconsistent document: operations referencing
+        messages that do not exist.  Tools generate Object-typed stubs
+        rather than crashing."""
+        record = _deployed()
+        document = read_wsdl_text(record.wsdl_text)
+        document.messages = []
+        result = MetroClient().generate(document)
+        assert result.succeeded
+        method = result.bundle.operation_methods[0]
+        assert method.returns == "Object"
+
+    def test_wrapper_without_inline_type(self):
+        record = _deployed()
+        document = read_wsdl_text(record.wsdl_text)
+        for schema in document.schemas:
+            for decl in schema.elements:
+                decl.inline_type = None
+        result = MetroClient().generate(document)
+        assert result.succeeded  # degraded, but no crash
+
+    def test_document_with_no_schemas(self):
+        document = WsdlDocument(
+            name="Bare", target_namespace="urn:bare",
+            binding=SoapBindingInfo(),
+        )
+        result = SudsClient().generate(document)
+        assert result.succeeded
+        assert any(d.code == "empty-client" for d in result.warnings)
+
+
+class TestEndpointAbuse:
+    def test_html_posted_to_endpoint(self):
+        endpoint = EchoServiceEndpoint(_deployed())
+        response = endpoint.handle("<html><body>oops</body></html>", {})
+        assert response.status in (400, 500)
+
+    def test_envelope_with_wrong_wrapper(self):
+        endpoint = EchoServiceEndpoint(_deployed())
+        body = serialize_envelope(
+            body_element=Element(QName("urn:other", "differentOp"))
+        )
+        response = endpoint.handle(body, {})
+        assert response.status == 500
+        assert "no operation accepts" in response.body
+
+    def test_empty_body_envelope(self):
+        endpoint = EchoServiceEndpoint(_deployed())
+        response = endpoint.handle(serialize_envelope(), {})
+        assert response.status == 400
+
+    def test_fault_responses_are_parseable_envelopes(self):
+        from repro.soap import parse_envelope
+
+        endpoint = EchoServiceEndpoint(_deployed())
+        response = endpoint.handle("garbage", {})
+        envelope = parse_envelope(response.body)
+        assert envelope.is_fault
+        assert envelope.fault.code
+
+
+class TestEngineInternals:
+    def test_camel_to_upper_snake(self):
+        assert _camel_to_upper_snake("InProgress") == "IN_PROGRESS"
+        assert _camel_to_upper_snake("inProgress") == "IN_PROGRESS"
+        assert _camel_to_upper_snake("TimedOut") == "TIMED_OUT"
+        assert _camel_to_upper_snake("OK") == "OK"
+
+    def test_cycle_detection_positive(self):
+        tns = "urn:t"
+        schema = Schema(target_namespace=tns)
+        schema.elements.append(
+            ElementDecl(
+                "wrapper",
+                inline_type=ComplexType(
+                    particles=[ElementParticle("input", QName(tns, "Bean"))]
+                ),
+            )
+        )
+        schema.complex_types.append(
+            ComplexType(name="Bean", particles=[RefParticle(QName(tns, "wrapper"))])
+        )
+        document = WsdlDocument(name="C", target_namespace=tns, schemas=[schema])
+        assert _has_reference_cycle(document)
+
+    def test_cycle_detection_negative(self):
+        record = _deployed()
+        document = read_wsdl_text(record.wsdl_text)
+        assert not _has_reference_cycle(document)
+
+    def test_self_referencing_element_detected(self):
+        tns = "urn:t"
+        schema = Schema(target_namespace=tns)
+        schema.elements.append(
+            ElementDecl(
+                "node",
+                inline_type=ComplexType(
+                    particles=[RefParticle(QName(tns, "node"))]
+                ),
+            )
+        )
+        document = WsdlDocument(name="C", target_namespace=tns, schemas=[schema])
+        assert _has_reference_cycle(document)
+
+    def test_foreign_refs_do_not_cycle(self):
+        tns = "urn:t"
+        schema = Schema(target_namespace=tns)
+        schema.complex_types.append(
+            ComplexType(name="T", particles=[RefParticle(QName(XSD_NS, "schema"))])
+        )
+        document = WsdlDocument(name="C", target_namespace=tns, schemas=[schema])
+        assert not _has_reference_cycle(document)
+
+
+class TestContainerEdgeCases:
+    def test_same_service_deployed_twice_gets_same_url(self):
+        server = GlassFish()
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        first = server.deploy(ServiceDefinition(entry))
+        second = server.deploy(ServiceDefinition(entry))
+        assert first.endpoint_url == second.endpoint_url
+        assert len(server.deployments) == 2
+
+    def test_transport_handler_exception_propagates(self):
+        transport = InMemoryHttpTransport()
+
+        def broken(body, headers):
+            raise RuntimeError("handler blew up")
+
+        transport.register("http://x", broken)
+        with pytest.raises(RuntimeError):
+            transport.post("http://x", "ping")
+
+    def test_compiler_on_empty_bundle(self):
+        from repro.artifacts import ArtifactBundle
+        from repro.compilers import JavaCompiler
+
+        result = JavaCompiler().compile(ArtifactBundle(tool="t", service="s"))
+        assert result.succeeded
+        assert not result.diagnostics

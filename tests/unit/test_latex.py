@@ -1,0 +1,64 @@
+"""Unit tests for the LaTeX renderers."""
+
+from repro.core.outcomes import ClientTestRecord, classify
+from repro.core.results import CampaignResult, ServerRunReport
+from repro.reporting import render_fig4_latex, render_table3_latex
+
+
+def _toy_result():
+    result = CampaignResult(server_ids=("metro", "wcf"), client_ids=("metro", "axis1"))
+    for server_id in result.server_ids:
+        result.servers[server_id] = ServerRunReport(server_id=server_id, deployed=2)
+        for client_id in result.client_ids:
+            result.add_record(
+                ClientTestRecord(
+                    server_id=server_id,
+                    client_id=client_id,
+                    service_name="Svc",
+                    generation=classify(1 if client_id == "axis1" else 0, 0),
+                    compilation=classify(0, 1),
+                )
+            )
+    return result
+
+
+class TestTable3Latex:
+    def test_environment_structure(self):
+        text = render_table3_latex(_toy_result())
+        assert text.startswith(r"\begin{table*}")
+        assert text.rstrip().endswith(r"\end{table*}")
+        assert r"\toprule" in text and r"\bottomrule" in text
+
+    def test_one_row_per_client(self):
+        text = render_table3_latex(_toy_result())
+        assert "metro &" in text
+        assert "axis1 &" in text
+
+    def test_cell_values_present(self):
+        text = render_table3_latex(_toy_result())
+        assert "0 & 0 & 1 & 0" in text  # metro client: comp warning only
+        assert "0 & 1 & 1 & 0" in text  # axis1: gen error + comp warning
+
+    def test_caption_escaped(self):
+        text = render_table3_latex(_toy_result(), caption="A & B_C 100%")
+        assert r"A \& B\_C 100\%" in text
+
+
+class TestFig4Latex:
+    def test_environment_structure(self):
+        text = render_fig4_latex(_toy_result())
+        assert text.startswith(r"\begin{table}")
+        assert r"\label{tab:overview}" in text
+
+    def test_metric_rows_present(self):
+        text = render_fig4_latex(_toy_result())
+        assert "Artifact generation errors" in text
+        assert "Artifact compilation warnings" in text
+
+    def test_column_per_server(self):
+        text = render_fig4_latex(_toy_result())
+        assert "Metro" in text and "WCF .NET" in text
+
+    def test_full_result_renders(self, quick_campaign_result):
+        text = render_table3_latex(quick_campaign_result)
+        assert text.count(r"\\") >= 13  # 11 clients + headers

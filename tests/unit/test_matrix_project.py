@@ -1,0 +1,114 @@
+"""Unit tests for the interop matrix and service project writer."""
+
+import os
+
+import pytest
+
+from repro.core.matrix import (
+    BROKEN,
+    FULL,
+    PARTIAL,
+    MatrixCell,
+    fully_interoperable_pairs,
+    interop_matrix,
+    render_matrix,
+)
+from repro.services import ServiceDefinition, generate_corpus
+from repro.services.project import write_service_project
+from repro.typesystem import Language, Property, TypeInfo
+
+
+class TestMatrixCell:
+    def test_full_verdict(self):
+        cell = MatrixCell("s", "c", tests=100, error_tests=0)
+        assert cell.verdict == FULL
+        assert cell.ok_ratio == 1.0
+
+    def test_partial_verdict(self):
+        cell = MatrixCell("s", "c", tests=100, error_tests=2)
+        assert cell.verdict == PARTIAL
+
+    def test_broken_verdict(self):
+        cell = MatrixCell("s", "c", tests=100, error_tests=20)
+        assert cell.verdict == BROKEN
+
+    def test_empty_cell(self):
+        cell = MatrixCell("s", "c", tests=0, error_tests=0)
+        assert cell.ok_ratio == 0.0
+
+
+class TestMatrixOverCampaign:
+    def test_every_pair_has_a_cell(self, quick_campaign_result):
+        matrix = interop_matrix(quick_campaign_result)
+        assert len(matrix) == 33
+
+    def test_error_free_pairs_match_table3(self, quick_campaign_result):
+        """By the paper's §V standard only a handful of pairs survive
+        with zero errors: the lazy PHP client everywhere, and C# against
+        its own WCF platform (Table III: its only blemish is a warning)."""
+        full = fully_interoperable_pairs(quick_campaign_result)
+        assert set(full) == {
+            ("metro", "zend"),
+            ("jbossws", "zend"),
+            ("wcf", "zend"),
+            ("wcf", "dotnet-cs"),
+        }
+
+    def test_render_matrix_grid(self, quick_campaign_result):
+        text = render_matrix(quick_campaign_result)
+        assert "Interoperability matrix" in text
+        assert "axis1" in text
+        assert "FAIL" in text and "OK" in text
+
+    def test_ratios_bounded(self, quick_campaign_result):
+        for cell in interop_matrix(quick_campaign_result).values():
+            assert 0.0 <= cell.ok_ratio <= 1.0
+
+
+class TestProjectWriter:
+    def _corpus(self, count=3):
+        entries = [
+            TypeInfo(Language.JAVA, "pkg", f"Alpha{i}",
+                     properties=(Property("size"),))
+            for i in range(count)
+        ]
+        return [ServiceDefinition(entry) for entry in entries]
+
+    def test_java_layout(self, tmp_path):
+        written = write_service_project(self._corpus(), str(tmp_path))
+        sources = [p for p in written if p.endswith(".java")]
+        assert len(sources) == 3
+        assert all(
+            os.path.join("src", "main", "java", "test", "services") in p
+            for p in sources
+        )
+
+    def test_csharp_layout(self, tmp_path):
+        entry = TypeInfo(Language.CSHARP, "System", "Thing",
+                         properties=(Property("Size"),))
+        written = write_service_project([ServiceDefinition(entry)], str(tmp_path))
+        assert any(os.path.join("App_Code", "EchoSystem_Thing.cs") in p for p in written)
+
+    def test_sources_compilable_shape(self, tmp_path):
+        written = write_service_project(self._corpus(1), str(tmp_path))
+        source = open(next(p for p in written if p.endswith(".java"))).read()
+        assert "@WebService" in source
+        assert "return input;" in source
+
+    def test_limit(self, tmp_path):
+        written = write_service_project(self._corpus(5), str(tmp_path), limit=2)
+        assert len([p for p in written if p.endswith(".java")]) == 2
+
+    def test_descriptor_written(self, tmp_path):
+        written = write_service_project(self._corpus(), str(tmp_path))
+        descriptor = next(p for p in written if p.endswith("PROJECT.txt"))
+        assert "services written: 3" in open(descriptor).read()
+
+    def test_rejects_non_service(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_service_project(["nope"], str(tmp_path))
+
+    def test_works_on_real_corpus_slice(self, quick_java_catalog, tmp_path):
+        corpus = generate_corpus(quick_java_catalog)
+        written = write_service_project(corpus, str(tmp_path), limit=10)
+        assert len(written) == 11

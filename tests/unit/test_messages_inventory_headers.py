@@ -1,0 +1,132 @@
+"""Unit tests for tool-message formatting, catalog inventory and SOAP
+mustUnderstand handling."""
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress
+from repro.data.tool_messages import format_diagnostic, format_generation_result
+from repro.frameworks.base import error, warning
+from repro.frameworks.client import MetroClient, SudsClient
+from repro.runtime import (
+    ClientInvocationError,
+    EchoServiceEndpoint,
+    GeneratedClientProxy,
+    InMemoryHttpTransport,
+)
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, Trait, TypeInfo
+from repro.typesystem.inventory import (
+    failure_class_summary,
+    kind_distribution,
+    namespace_distribution,
+    render_inventory,
+    trait_inventory,
+)
+from repro.wsdl import read_wsdl_text
+from repro.xmlcore import Element, QName, SOAP_ENV_NS
+
+
+class TestToolMessages:
+    def test_wsimport_error_style(self):
+        text = format_diagnostic("wsimport", error("x", "undefined element"))
+        assert text.startswith("[ERROR] undefined element")
+
+    def test_axis_error_style(self):
+        text = format_diagnostic("wsdl2java", error("x", "boom"))
+        assert "WSDL2Java" in text
+
+    def test_wsdl_exe_warning_style(self):
+        text = format_diagnostic("wsdl.exe", warning("x", "odd schema"))
+        assert text.startswith("Warning: Schema validation warning")
+
+    def test_unknown_tool_falls_back(self):
+        assert format_diagnostic("mystery", error("x", "m")) == "error: m"
+
+    def test_format_generation_result_success(self):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        client = MetroClient()
+        result = client.generate(read_wsdl_text(record.wsdl_text))
+        text = format_generation_result(client, result)
+        assert "generated" in text and "FAILED" not in text
+
+    def test_format_generation_result_failure(self):
+        entry = TypeInfo(
+            Language.CSHARP, "System.Data", "Rows",
+            traits=frozenset({Trait.DATASET_SCHEMA_REF}),
+        )
+        record = IisExpress().deploy(ServiceDefinition(entry))
+        client = MetroClient()
+        result = client.generate(read_wsdl_text(record.wsdl_text))
+        text = format_generation_result(client, result)
+        assert "[ERROR]" in text and "FAILED" in text
+
+
+class TestInventory:
+    def test_kind_distribution(self, quick_java_catalog):
+        kinds = kind_distribution(quick_java_catalog)
+        assert kinds["class"] > kinds["enum"]
+        assert sum(kinds.values()) == len(quick_java_catalog)
+
+    def test_namespace_distribution_limited(self, quick_java_catalog):
+        assert len(namespace_distribution(quick_java_catalog, top=5)) == 5
+
+    def test_trait_inventory_counts(self, quick_java_catalog):
+        traits = trait_inventory(quick_java_catalog)
+        assert traits["throwable"] > 0
+        assert traits["async-handle"] == 2
+
+    def test_failure_class_summary(self, quick_dotnet_catalog):
+        summary = dict(failure_class_summary(quick_dotnet_catalog))
+        assert summary["DataSet-style s:schema types"] == 20
+        assert summary["self-recursive schemas (suds)"] == 1
+
+    def test_render_inventory_text(self, quick_java_catalog):
+        text = render_inventory(quick_java_catalog)
+        assert "Kinds:" in text
+        assert "Failure-class populations:" in text
+
+    def test_cli_corpus_detail(self, capsys):
+        from repro.cli import main
+
+        assert main(["corpus", "--detail"]) == 0
+        out = capsys.readouterr().out
+        assert "Failure-class populations:" in out
+        assert "throwable-shaped types" in out
+
+
+class TestMustUnderstand:
+    def _proxy(self):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        transport = InMemoryHttpTransport()
+        EchoServiceEndpoint(record).mount(transport)
+        document = read_wsdl_text(record.wsdl_text)
+        client = SudsClient()
+        return GeneratedClientProxy(
+            client.generate(document).bundle, document, transport
+        )
+
+    def test_must_understand_header_faults(self):
+        header = Element(QName("urn:sec", "Security"), prefix_hint="sec")
+        header.set(QName(SOAP_ENV_NS, "mustUnderstand"), "1")
+        with pytest.raises(ClientInvocationError) as excinfo:
+            self._proxy().invoke("echoPlain", {"size": "1"}, soap_headers=(header,))
+        assert "not understood" in str(excinfo.value)
+
+    def test_optional_header_ignored(self):
+        header = Element(QName("urn:trace", "RequestId"), text="42")
+        result = self._proxy().invoke(
+            "echoPlain", {"size": "1"}, soap_headers=(header,)
+        )
+        assert result == {"size": "1"}
+
+    def test_must_understand_zero_is_optional(self):
+        header = Element(QName("urn:sec", "Security"))
+        header.set(QName(SOAP_ENV_NS, "mustUnderstand"), "0")
+        result = self._proxy().invoke(
+            "echoPlain", {"size": "1"}, soap_headers=(header,)
+        )
+        assert result == {"size": "1"}

@@ -1,0 +1,99 @@
+"""Internal-consistency tests over the reconstructed paper numbers."""
+
+from repro.data import (
+    PAPER_FIG4,
+    PAPER_HEADLINES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    RECONSTRUCTION_NOTES,
+)
+from repro.data.paper_results import PAPER_FIG4_AS_PRINTED
+
+
+class TestTableShapes:
+    def test_table1_has_three_servers(self):
+        assert len(PAPER_TABLE1) == 3
+
+    def test_table2_has_eleven_rows(self):
+        assert len(PAPER_TABLE2) == 11
+
+    def test_table2_compile_flags(self):
+        no_compile = [row[0] for row in PAPER_TABLE2 if not row[3]]
+        assert no_compile == ["Zend Framework 1.9", "suds Python 0.4"]
+
+
+class TestReconstructionConsistency:
+    def test_fig4_is_sum_of_table3(self):
+        for server_id, clients in PAPER_TABLE3.items():
+            sums = [0, 0, 0, 0]
+            for cells in clients.values():
+                for index, value in enumerate(cells):
+                    sums[index] += value or 0
+            fig = PAPER_FIG4[server_id]
+            assert sums == [
+                fig["gen_warnings"],
+                fig["gen_errors"],
+                fig["comp_warnings"],
+                fig["comp_errors"],
+            ]
+
+    def test_deployment_counts_sum(self):
+        assert (
+            PAPER_HEADLINES["deployed_metro"]
+            + PAPER_HEADLINES["deployed_jbossws"]
+            + PAPER_HEADLINES["deployed_wcf"]
+            == PAPER_HEADLINES["services_deployed"]
+        )
+
+    def test_tests_equal_deployed_times_clients(self):
+        assert (
+            PAPER_HEADLINES["services_deployed"] * 11 == PAPER_HEADLINES["tests"]
+        )
+
+    def test_created_minus_refused_equals_deployed(self):
+        assert (
+            PAPER_HEADLINES["services_created"]
+            - PAPER_HEADLINES["services_refused"]
+            == PAPER_HEADLINES["services_deployed"]
+        )
+
+    def test_sdg_warnings_sum(self):
+        assert (
+            sum(fig["sdg_warnings"] for fig in PAPER_FIG4.values())
+            == PAPER_HEADLINES["sdg_warnings"]
+        )
+
+    def test_comp_totals_sum(self):
+        assert (
+            sum(fig["comp_warnings"] for fig in PAPER_FIG4.values())
+            == PAPER_HEADLINES["comp_warning_tests"]
+        )
+        assert (
+            sum(fig["comp_errors"] for fig in PAPER_FIG4.values())
+            == PAPER_HEADLINES["comp_error_tests"]
+        )
+
+    def test_axis1_throwable_total(self):
+        assert (
+            PAPER_TABLE3["metro"]["axis1"][3] + PAPER_TABLE3["jbossws"]["axis1"][3]
+            == PAPER_HEADLINES["axis1_throwable_comp_errors"]
+        )
+
+    def test_same_framework_total(self):
+        own = (
+            PAPER_TABLE3["metro"]["metro"][1]
+            + PAPER_TABLE3["jbossws"]["jbossws"][1]
+            + sum(
+                (PAPER_TABLE3["wcf"][cid][1] or 0)
+                + (PAPER_TABLE3["wcf"][cid][3] or 0)
+                for cid in ("dotnet-cs", "dotnet-vb", "dotnet-js")
+            )
+        )
+        assert own == PAPER_HEADLINES["same_framework_error_tests"]
+
+    def test_printed_fig4_divergences_documented(self):
+        assert PAPER_FIG4_AS_PRINTED["jbossws"]["gen_warnings"] == 2255
+        assert PAPER_FIG4_AS_PRINTED["wcf"]["gen_errors"] == 256
+        assert "2255" in RECONSTRUCTION_NOTES
+        assert "1583" in RECONSTRUCTION_NOTES

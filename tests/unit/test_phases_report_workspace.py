@@ -1,0 +1,161 @@
+"""Unit tests for the phase API, WS-I XML reports and the workspace."""
+
+import os
+
+import pytest
+
+from repro.appservers import GlassFish
+from repro.core import CampaignConfig
+from repro.core.phases import PreparationPhase, TestingPhase
+from repro.frameworks.client import Axis1Client, MetroClient
+from repro.services import ServiceDefinition
+from repro.typesystem import (
+    Language,
+    Property,
+    QUICK_DOTNET_QUOTAS,
+    QUICK_JAVA_QUOTAS,
+    TypeInfo,
+)
+from repro.wsdl import read_wsdl_text
+from repro.wsi import check_document
+from repro.wsi.report import parse_report_xml, render_report_xml
+from repro.artifacts.workspace import write_bundle
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return CampaignConfig(
+        java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+    )
+
+
+class TestPreparationPhase:
+    def test_selects_frameworks(self, quick_config):
+        preparation = PreparationPhase(quick_config).run()
+        assert len(preparation.servers) == 3
+        assert len(preparation.clients) == 11
+
+    def test_builds_corpora(self, quick_config):
+        preparation = PreparationPhase(quick_config).run()
+        assert len(preparation.corpora["metro"]) == QUICK_JAVA_QUOTAS.total
+        assert len(preparation.corpora["wcf"]) == QUICK_DOTNET_QUOTAS.total
+        assert preparation.services_created == (
+            QUICK_JAVA_QUOTAS.total * 2 + QUICK_DOTNET_QUOTAS.total
+        )
+
+    def test_documentation_crawl_optional(self, quick_config):
+        preparation = PreparationPhase(quick_config, crawl_documentation=True).run()
+        assert len(preparation.harvested_names["java"]) == QUICK_JAVA_QUOTAS.total
+        assert len(preparation.harvested_names["dotnet"]) == QUICK_DOTNET_QUOTAS.total
+
+    def test_summary_mentions_counts(self, quick_config):
+        preparation = PreparationPhase(quick_config).run()
+        text = preparation.summary()
+        assert "11 client" in text
+        assert str(preparation.services_created) in text
+
+    def test_server_subset(self):
+        config = CampaignConfig(
+            server_ids=("metro",),
+            java_quotas=QUICK_JAVA_QUOTAS,
+            dotnet_quotas=QUICK_DOTNET_QUOTAS,
+        )
+        preparation = PreparationPhase(config).run()
+        assert set(preparation.corpora) == {"metro"}
+
+
+class TestTestingPhase:
+    def test_matches_campaign_results(self, quick_config, quick_campaign_result):
+        preparation = PreparationPhase(quick_config).run()
+        result = TestingPhase(preparation).run()
+        assert result.totals() == quick_campaign_result.totals()
+        for key, cell in result.cells.items():
+            assert cell.as_row() == quick_campaign_result.cells[key].as_row()
+
+    def test_progress_callback_invoked(self, quick_config):
+        messages = []
+        preparation = PreparationPhase(quick_config).run(progress=messages.append)
+        TestingPhase(preparation).run(progress=messages.append)
+        assert any("deployed" in message for message in messages)
+        assert any("corpus" in message for message in messages)
+
+
+class TestWsiXmlReport:
+    def _report(self, type_name="java.text.SimpleDateFormat"):
+        from repro.typesystem import build_java_catalog
+
+        catalog = build_java_catalog(QUICK_JAVA_QUOTAS)
+        record = GlassFish().deploy(ServiceDefinition(catalog.require(type_name)))
+        return check_document(read_wsdl_text(record.wsdl_text))
+
+    def test_roundtrip_failing_report(self):
+        report = self._report()
+        back = parse_report_xml(render_report_xml(report))
+        assert back.subject == report.subject
+        assert back.assertions_checked == report.assertions_checked
+        assert len(back.failures) == len(report.failures)
+        assert back.failures[0].assertion_id == report.failures[0].assertion_id
+        assert back.failures[0].message == report.failures[0].message
+
+    def test_passing_report_marked_passed(self):
+        report = self._report("java.util.Date")
+        text = render_report_xml(report)
+        assert 'result="passed"' in text
+
+    def test_failing_report_marked_failed(self):
+        text = render_report_xml(self._report())
+        assert 'result="failed"' in text
+
+    def test_non_report_rejected(self):
+        with pytest.raises(ValueError):
+            parse_report_xml("<a/>")
+
+
+class TestWorkspace:
+    def _bundle(self, client=None):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        document = read_wsdl_text(record.wsdl_text)
+        client = client or MetroClient()
+        return client.generate(document).bundle
+
+    def test_writes_unit_files_and_manifest(self, tmp_path):
+        bundle = self._bundle()
+        written = write_bundle(bundle, str(tmp_path))
+        assert any(path.endswith("Plain.java") for path in written)
+        assert any(path.endswith("MANIFEST.txt") for path in written)
+        manifest = next(p for p in written if p.endswith("MANIFEST.txt"))
+        content = open(manifest).read()
+        assert "partial: no" in content
+        assert "units:" in content
+
+    def test_source_files_contain_rendered_code(self, tmp_path):
+        bundle = self._bundle()
+        written = write_bundle(bundle, str(tmp_path))
+        bean = next(p for p in written if p.endswith("Plain.java"))
+        assert "public class Plain" in open(bean).read()
+
+    def test_partial_bundle_flagged(self, tmp_path):
+        from repro.typesystem import Trait
+
+        entry = TypeInfo(
+            Language.JAVA, "javax.xml.ws.wsaddressing", "W3CEndpointReference",
+            traits=frozenset({Trait.WS_ADDRESSING_EPR}),
+        )
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        document = read_wsdl_text(record.wsdl_text)
+        result = Axis1Client().generate(document)
+        assert result.bundle.partial
+        written = write_bundle(result.bundle, str(tmp_path))
+        manifest = next(p for p in written if p.endswith("MANIFEST.txt"))
+        assert "partial: yes" in open(manifest).read()
+
+    def test_rejects_non_bundle(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_bundle("nope", str(tmp_path))
+
+    def test_layout_contains_tool_and_service(self, tmp_path):
+        bundle = self._bundle()
+        written = write_bundle(bundle, str(tmp_path))
+        assert all(os.sep + "wsimport" + os.sep in path for path in written)

@@ -1,0 +1,202 @@
+"""Unit tests for the communication/execution runtime extension."""
+
+import pytest
+
+from repro.appservers import GlassFish, IisExpress, JBossAs
+from repro.core.outcomes import StepStatus
+from repro.frameworks.client import (
+    Axis1Client,
+    DotNetCSharpClient,
+    MetroClient,
+    SudsClient,
+    ZendClient,
+)
+from repro.runtime import (
+    ClientInvocationError,
+    EchoServiceEndpoint,
+    GeneratedClientProxy,
+    InMemoryHttpTransport,
+    run_full_lifecycle,
+)
+from repro.services import ServiceDefinition
+from repro.typesystem import (
+    CtorVisibility,
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+)
+from repro.wsdl import read_wsdl_text
+
+
+def _deploy_plain(container=None):
+    entry = TypeInfo(
+        Language.JAVA, "pkg", "Plain",
+        properties=(
+            Property("size", SimpleType.INT),
+            Property("tags", SimpleType.STRING, is_array=True),
+        ),
+    )
+    record = (container or GlassFish()).deploy(ServiceDefinition(entry))
+    assert record.accepted
+    return record
+
+
+class TestTransport:
+    def test_unregistered_url_404(self):
+        transport = InMemoryHttpTransport()
+        response = transport.post("http://nowhere/x", "body")
+        assert response.status == 404
+        assert not response.ok
+
+    def test_handler_string_promoted_to_200(self):
+        transport = InMemoryHttpTransport()
+        transport.register("http://x", lambda body, headers: "pong")
+        response = transport.post("http://x", "ping")
+        assert response.ok and response.body == "pong"
+
+    def test_request_counter(self):
+        transport = InMemoryHttpTransport()
+        transport.register("http://x", lambda body, headers: "pong")
+        transport.post("http://x", "1")
+        transport.post("http://x", "2")
+        assert transport.requests_sent == 2
+
+    def test_unregister(self):
+        transport = InMemoryHttpTransport()
+        transport.register("http://x", lambda body, headers: "pong")
+        transport.unregister("http://x")
+        assert transport.post("http://x", "ping").status == 404
+
+
+class TestEndpoint:
+    def test_refused_deployment_rejected(self):
+        iface = TypeInfo(
+            Language.JAVA, "pkg", "I",
+            kind=TypeKind.INTERFACE, ctor=CtorVisibility.NONE,
+        )
+        record = GlassFish().deploy(ServiceDefinition(iface))
+        with pytest.raises(ValueError):
+            EchoServiceEndpoint(record)
+
+    def test_malformed_request_faults_400(self):
+        record = _deploy_plain()
+        endpoint = EchoServiceEndpoint(record)
+        response = endpoint.handle("not xml", {})
+        assert response.status == 400
+        assert "faultstring" in response.body
+
+    def test_unknown_operation_faults(self):
+        record = _deploy_plain()
+        endpoint = EchoServiceEndpoint(record)
+        from repro.soap.envelope import serialize_envelope
+        from repro.xmlcore import Element, QName
+
+        body = serialize_envelope(body_element=Element(QName("urn:x", "nope")))
+        response = endpoint.handle(body, {})
+        assert response.status == 500
+
+    def test_invocation_counter(self):
+        record = _deploy_plain()
+        endpoint = EchoServiceEndpoint(record)
+        transport = InMemoryHttpTransport()
+        endpoint.mount(transport)
+        document = read_wsdl_text(record.wsdl_text)
+        client = SudsClient()
+        proxy = GeneratedClientProxy(
+            client.generate(document).bundle, document, transport
+        )
+        proxy.invoke("echoPlain", {"size": "1"})
+        assert endpoint.invocations == 1
+
+
+class TestProxy:
+    def _proxy(self, client=None, transport=None):
+        record = _deploy_plain()
+        transport = transport or InMemoryHttpTransport()
+        EchoServiceEndpoint(record).mount(transport)
+        document = read_wsdl_text(record.wsdl_text)
+        client = client or SudsClient()
+        bundle = client.generate(document).bundle
+        return GeneratedClientProxy(bundle, document, transport)
+
+    def test_echo_roundtrip(self):
+        proxy = self._proxy()
+        values = {"size": "41", "tags": ["a", "b"]}
+        assert proxy.invoke("echoPlain", values) == values
+
+    def test_operations_listing(self):
+        assert self._proxy().operations == ["echoPlain"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ClientInvocationError):
+            self._proxy().invoke("nope", {})
+
+    def test_transport_failure_surfaces(self):
+        record = _deploy_plain()
+        document = read_wsdl_text(record.wsdl_text)
+        client = SudsClient()
+        proxy = GeneratedClientProxy(
+            client.generate(document).bundle, document, InMemoryHttpTransport()
+        )
+        with pytest.raises(ClientInvocationError):
+            proxy.invoke("echoPlain", {"size": "1"})
+
+
+class TestFullLifecycle:
+    def test_clean_combination_reaches_execution(self):
+        record = _deploy_plain()
+        outcome = run_full_lifecycle(record, MetroClient(), client_id="metro")
+        assert outcome.generation is StepStatus.OK
+        assert outcome.compilation is StepStatus.OK
+        assert outcome.communication is StepStatus.OK
+        assert outcome.execution is StepStatus.OK
+        assert outcome.reached_execution
+
+    def test_dynamic_client_reaches_execution(self):
+        record = _deploy_plain()
+        outcome = run_full_lifecycle(record, ZendClient(), client_id="zend")
+        assert outcome.compilation is StepStatus.NOT_APPLICABLE
+        assert outcome.reached_execution
+
+    def test_generation_error_stops_lifecycle(self):
+        dataset = TypeInfo(
+            Language.CSHARP, "System.Data", "Rows",
+            traits=frozenset({Trait.DATASET_SCHEMA_REF}),
+        )
+        record = IisExpress().deploy(ServiceDefinition(dataset))
+        outcome = run_full_lifecycle(record, MetroClient(), client_id="metro")
+        assert outcome.generation is StepStatus.ERROR
+        assert outcome.communication is StepStatus.SKIPPED
+
+    def test_compilation_error_stops_lifecycle(self):
+        from repro.typesystem.synthesis import throwable_properties
+
+        throwable = TypeInfo(
+            Language.JAVA, "java.io", "LateError",
+            properties=throwable_properties(),
+            traits=frozenset({Trait.THROWABLE}),
+        )
+        record = GlassFish().deploy(ServiceDefinition(throwable))
+        outcome = run_full_lifecycle(record, Axis1Client(), client_id="axis1")
+        assert outcome.compilation is StepStatus.ERROR
+        assert outcome.communication is StepStatus.SKIPPED
+
+    def test_methodless_client_fails_at_communication(self):
+        future = TypeInfo(
+            Language.JAVA, "java.util.concurrent", "Future",
+            kind=TypeKind.INTERFACE, ctor=CtorVisibility.NONE,
+            traits=frozenset({Trait.ASYNC_HANDLE}),
+        )
+        record = JBossAs().deploy(ServiceDefinition(future))
+        outcome = run_full_lifecycle(record, ZendClient(), client_id="zend")
+        assert outcome.generation is StepStatus.WARNING
+        assert outcome.communication is StepStatus.ERROR
+        assert "no operations" in outcome.detail
+
+    def test_dotnet_client_java_service_interop(self):
+        record = _deploy_plain()
+        outcome = run_full_lifecycle(record, DotNetCSharpClient(), client_id="dotnet-cs")
+        assert outcome.reached_execution

@@ -1,0 +1,84 @@
+"""Unit tests for the SOAP 1.1 substrate."""
+
+import pytest
+
+from repro.soap import (
+    SoapFault,
+    build_envelope,
+    decode_wrapper,
+    encode_wrapper,
+    parse_envelope,
+)
+from repro.soap.envelope import serialize_envelope
+from repro.xmlcore import Element, QName
+
+
+class TestEnvelope:
+    def test_body_roundtrip(self):
+        payload = Element(QName("urn:x", "ping"), text="hi")
+        envelope = parse_envelope(serialize_envelope(body_element=payload))
+        assert not envelope.is_fault
+        assert envelope.body.name == QName("urn:x", "ping")
+        assert envelope.body.text == "hi"
+
+    def test_headers_roundtrip(self):
+        header = Element(QName("urn:h", "auth"), text="token")
+        text = serialize_envelope(
+            body_element=Element(QName("urn:x", "ping")), headers=(header,)
+        )
+        envelope = parse_envelope(text)
+        assert len(envelope.headers) == 1
+        assert envelope.headers[0].text == "token"
+
+    def test_fault_roundtrip(self):
+        fault = SoapFault(code="soapenv:Client", string="bad request", detail="d")
+        envelope = parse_envelope(serialize_envelope(fault=fault))
+        assert envelope.is_fault
+        assert envelope.fault.code == "soapenv:Client"
+        assert envelope.fault.string == "bad request"
+        assert envelope.fault.detail == "d"
+
+    def test_empty_body_allowed(self):
+        envelope = parse_envelope(serialize_envelope())
+        assert envelope.body is None
+
+    def test_non_envelope_rejected(self):
+        with pytest.raises(ValueError):
+            parse_envelope("<a/>")
+
+    def test_envelope_without_body_rejected(self):
+        envelope = build_envelope()
+        envelope.content = [c for c in envelope.children if c.name.local != "Body"]
+        from repro.xmlcore import serialize
+
+        with pytest.raises(ValueError):
+            parse_envelope(serialize(envelope))
+
+
+class TestWrapperEncoding:
+    def test_scalar_roundtrip(self):
+        wrapper = encode_wrapper(QName("urn:x", "echo"), {"size": 5, "name": "a"})
+        assert decode_wrapper(wrapper) == {"size": "5", "name": "a"}
+
+    def test_boolean_lexical_form(self):
+        wrapper = encode_wrapper(QName("urn:x", "echo"), {"flag": True})
+        assert decode_wrapper(wrapper) == {"flag": "true"}
+
+    def test_list_becomes_repeated_elements(self):
+        wrapper = encode_wrapper(QName("urn:x", "echo"), {"tags": ["a", "b"]})
+        assert decode_wrapper(wrapper) == {"tags": ["a", "b"]}
+
+    def test_none_becomes_nil(self):
+        wrapper = encode_wrapper(QName("urn:x", "echo"), {"gone": None})
+        assert decode_wrapper(wrapper) == {"gone": None}
+
+    def test_nested_dict_roundtrip(self):
+        values = {"input": {"size": "5", "tags": ["a", "b"]}}
+        wrapper = encode_wrapper(QName("urn:x", "echo"), values)
+        assert decode_wrapper(wrapper) == values
+
+    def test_roundtrip_through_serialized_envelope(self):
+        values = {"input": {"size": "5", "flag": "true"}}
+        wrapper = encode_wrapper(QName("urn:x", "echo"), values)
+        envelope = parse_envelope(serialize_envelope(body_element=wrapper))
+        assert decode_wrapper(envelope.body) == values

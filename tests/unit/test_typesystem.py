@@ -1,0 +1,183 @@
+"""Unit tests for the type-system model, naming and catalog container."""
+
+import random
+
+import pytest
+
+from repro.typesystem import (
+    Catalog,
+    CtorVisibility,
+    Language,
+    Property,
+    SimpleType,
+    Trait,
+    TypeInfo,
+    TypeKind,
+)
+from repro.typesystem.model import (
+    properties_with_case_collision,
+    script_unfriendly_properties,
+)
+from repro.typesystem.naming import (
+    DOTNET_NAMESPACES,
+    JAVA_PACKAGES,
+    NameFactory,
+)
+from repro.typesystem.synthesis import (
+    ENUM_VALUE_NAMES,
+    PROPERTY_NAMES,
+    synth_enum_values,
+    synth_properties,
+)
+
+
+class TestTypeInfo:
+    def test_full_name(self):
+        info = TypeInfo(Language.JAVA, "java.util", "Date")
+        assert info.full_name == "java.util.Date"
+
+    def test_has_trait(self):
+        info = TypeInfo(
+            Language.JAVA, "java.lang", "Exception",
+            traits=frozenset({Trait.THROWABLE}),
+        )
+        assert info.has_trait(Trait.THROWABLE)
+        assert not info.has_trait(Trait.ASYNC_HANDLE)
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (TypeKind.CLASS, True),
+            (TypeKind.ENUM, True),
+            (TypeKind.STRUCT, True),
+            (TypeKind.INTERFACE, False),
+            (TypeKind.ABSTRACT_CLASS, False),
+            (TypeKind.DELEGATE, False),
+            (TypeKind.ANNOTATION, False),
+        ],
+    )
+    def test_concrete_class_kinds(self, kind, expected):
+        info = TypeInfo(Language.JAVA, "p", "T", kind=kind)
+        assert info.is_concrete_class is expected
+
+    def test_case_collision_shape(self):
+        names = [prop.name for prop in properties_with_case_collision()]
+        assert "value" in names and "Value" in names
+
+    def test_script_unfriendly_shape_scales_with_depth(self):
+        props = script_unfriendly_properties(depth=3)
+        nillable = [p for p in props if p.nillable_value and p.is_array]
+        assert len(nillable) == 3
+        assert all(p.value_type is SimpleType.INT for p in nillable)
+
+
+class TestNameFactory:
+    def test_unique_names(self):
+        factory = NameFactory(JAVA_PACKAGES, random.Random(1))
+        seen = set()
+        for __ in range(2000):
+            namespace, name = factory.next_class_name()
+            assert (namespace, name) not in seen
+            seen.add((namespace, name))
+
+    def test_reserved_names_never_produced(self):
+        factory = NameFactory(JAVA_PACKAGES, random.Random(2))
+        factory.reserve("java.util", "Date")
+        for __ in range(500):
+            namespace, name = factory.next_class_name("java.util")
+            assert name != "Date"
+
+    def test_throwable_names_end_properly(self):
+        factory = NameFactory(JAVA_PACKAGES, random.Random(3))
+        for __ in range(50):
+            __, name = factory.next_throwable_name()
+            assert name.endswith(("Exception", "Error"))
+
+    def test_deterministic_given_seed(self):
+        a = NameFactory(DOTNET_NAMESPACES, random.Random(7))
+        b = NameFactory(DOTNET_NAMESPACES, random.Random(7))
+        assert [a.next_class_name() for __ in range(20)] == [
+            b.next_class_name() for __ in range(20)
+        ]
+
+
+class TestSynthesis:
+    def test_property_names_distinct(self):
+        rng = random.Random(5)
+        for __ in range(100):
+            props = synth_properties(rng)
+            names = [p.name for p in props]
+            assert len(names) == len(set(names))
+
+    def test_property_name_pool_has_no_case_collisions(self):
+        lowered = [name.lower() for name in PROPERTY_NAMES]
+        assert len(lowered) == len(set(lowered))
+
+    def test_enum_value_pool_has_no_case_collisions(self):
+        lowered = [name.lower() for name in ENUM_VALUE_NAMES]
+        assert len(lowered) == len(set(lowered))
+
+    def test_enum_values_distinct(self):
+        rng = random.Random(6)
+        values = synth_enum_values(rng)
+        assert len(values) == len(set(values))
+
+
+def _entry(name="T", namespace="p", language=Language.JAVA, **kwargs):
+    return TypeInfo(language, namespace, name, **kwargs)
+
+
+class TestCatalog:
+    def test_len_iter_contains(self):
+        catalog = Catalog(Language.JAVA, [_entry("A"), _entry("B")])
+        assert len(catalog) == 2
+        assert {e.name for e in catalog} == {"A", "B"}
+        assert "p.A" in catalog
+
+    def test_get_and_require(self):
+        catalog = Catalog(Language.JAVA, [_entry("A")])
+        assert catalog.get("p.A").name == "A"
+        assert catalog.get("p.X") is None
+        with pytest.raises(KeyError):
+            catalog.require("p.X")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog(Language.JAVA, [_entry("A"), _entry("A")])
+
+    def test_language_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog(Language.JAVA, [_entry("A", language=Language.CSHARP)])
+
+    def test_non_typeinfo_rejected(self):
+        with pytest.raises(TypeError):
+            Catalog(Language.JAVA, ["nope"])
+
+    def test_with_trait(self):
+        entries = [
+            _entry("A", traits=frozenset({Trait.THROWABLE})),
+            _entry("B"),
+        ]
+        catalog = Catalog(Language.JAVA, entries)
+        assert [e.name for e in catalog.with_trait(Trait.THROWABLE)] == ["A"]
+        assert catalog.count_with_trait(Trait.THROWABLE) == 1
+
+    def test_kinds_counter(self):
+        catalog = Catalog(
+            Language.JAVA,
+            [_entry("A"), _entry("B", kind=TypeKind.INTERFACE, ctor=CtorVisibility.NONE)],
+        )
+        assert catalog.kinds()[TypeKind.CLASS] == 1
+        assert catalog.kinds()[TypeKind.INTERFACE] == 1
+
+    def test_summary_mentions_size(self):
+        catalog = Catalog(Language.JAVA, [_entry("A")])
+        assert "1 types" in catalog.summary()
+
+
+class TestPropertyDefaults:
+    def test_defaults(self):
+        prop = Property("size")
+        assert prop.value_type is SimpleType.STRING
+        assert not prop.is_array
+        assert not prop.nillable_value

@@ -1,0 +1,88 @@
+"""Unit tests for wget-style mirroring and the HTML report."""
+
+import os
+
+from repro.docweb import build_site
+from repro.docweb.wget import extract_type_list, mirror_site
+from repro.reporting import render_html_report
+from repro.typesystem import Catalog, Language, Property, TypeInfo
+
+
+def _catalog():
+    entries = [
+        TypeInfo(Language.JAVA, "java.util", "Date",
+                 properties=(Property("time"),)),
+        TypeInfo(Language.JAVA, "java.io", "File"),
+    ]
+    return Catalog(Language.JAVA, entries)
+
+
+class TestMirror:
+    def test_all_pages_written(self, tmp_path):
+        site = build_site(_catalog())
+        stats = mirror_site(site, str(tmp_path))
+        assert stats.pages_written == len(site)
+        assert stats.bytes_written > 0
+
+    def test_directory_layout_follows_paths(self, tmp_path):
+        site = build_site(_catalog())
+        mirror_site(site, str(tmp_path))
+        assert (tmp_path / "index.html").exists()
+        assert (tmp_path / "packages" / "java.util.html").exists()
+        assert (tmp_path / "types" / "java.util.Date.html").exists()
+
+    def test_log_written(self, tmp_path):
+        site = build_site(_catalog())
+        stats = mirror_site(site, str(tmp_path))
+        log = open(stats.log_path).read()
+        assert "FINISHED" in log
+        assert log.count("saved ") == stats.pages_written
+
+    def test_extract_type_list_from_disk(self, tmp_path):
+        catalog = _catalog()
+        mirror_site(build_site(catalog), str(tmp_path))
+        harvested = extract_type_list(str(tmp_path))
+        assert [name for __, name in harvested] == sorted(
+            e.full_name for e in catalog
+        )
+        assert all(kind == "class" for kind, __ in harvested)
+
+    def test_quick_catalog_mirrors_completely(self, quick_java_catalog, tmp_path):
+        stats = mirror_site(build_site(quick_java_catalog), str(tmp_path))
+        harvested = extract_type_list(str(tmp_path))
+        assert len(harvested) == len(quick_java_catalog)
+        assert stats.pages_written == len(quick_java_catalog) + len(
+            quick_java_catalog.namespaces()
+        ) + 1
+
+
+class TestHtmlReport:
+    def test_self_contained_page(self, quick_campaign_result):
+        html = render_html_report(quick_campaign_result)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert "<style>" in html
+
+    def test_sections_present(self, quick_campaign_result):
+        html = render_html_report(quick_campaign_result)
+        for heading in (
+            "Headline numbers",
+            "Overview per server framework",
+            "Detailed results (Table III)",
+            "Interoperability verdicts",
+        ):
+            assert heading in html
+
+    def test_all_clients_listed(self, quick_campaign_result):
+        html = render_html_report(quick_campaign_result)
+        for client_id in quick_campaign_result.client_ids:
+            assert f">{client_id}</td>" in html
+
+    def test_verdict_classes_used(self, quick_campaign_result):
+        html = render_html_report(quick_campaign_result)
+        assert "verdict-full" in html
+        assert "verdict-broken" in html or "verdict-partial" in html
+
+    def test_title_escaped(self, quick_campaign_result):
+        html = render_html_report(quick_campaign_result, title="A <&> B")
+        assert "A &lt;&amp;&gt; B" in html

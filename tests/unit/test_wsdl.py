@@ -1,0 +1,163 @@
+"""Unit tests for the WSDL substrate."""
+
+import pytest
+
+from repro.wsdl import (
+    SoapBindingInfo,
+    SoapOperation,
+    WsdlDocument,
+    WsdlMessage,
+    WsdlReadError,
+    read_wsdl_text,
+    serialize_wsdl,
+)
+from repro.xmlcore import QName, SOAP_HTTP_TRANSPORT, XSD_NS, parse
+from repro.xsd import ComplexType, ElementDecl, ElementParticle, Schema
+
+TNS = "http://services.wsinterop.test/test"
+
+
+def _sample_document(markers=(), schema_prefix="xsd", operations=True):
+    schema = Schema(target_namespace=TNS)
+    schema.complex_types.append(
+        ComplexType(
+            name="Bean",
+            particles=[ElementParticle("size", QName(XSD_NS, "int"))],
+        )
+    )
+    schema.elements.append(
+        ElementDecl(
+            "echoBean",
+            inline_type=ComplexType(
+                particles=[ElementParticle("input", QName(TNS, "Bean"))]
+            ),
+        )
+    )
+    schema.elements.append(
+        ElementDecl(
+            "echoBeanResponse",
+            inline_type=ComplexType(
+                particles=[ElementParticle("return", QName(TNS, "Bean"))]
+            ),
+        )
+    )
+    document = WsdlDocument(
+        name="EchoBeanService",
+        target_namespace=TNS,
+        schemas=[schema],
+        service_name="EchoBeanService",
+        port_name="EchoBeanPort",
+        endpoint_url="http://localhost:8080/EchoBeanService",
+        extension_markers=tuple(markers),
+        schema_prefix=schema_prefix,
+    )
+    if operations:
+        document.messages = [
+            WsdlMessage("echoBean", "parameters", QName(TNS, "echoBean")),
+            WsdlMessage(
+                "echoBeanResponse", "parameters", QName(TNS, "echoBeanResponse")
+            ),
+        ]
+        document.operations = [
+            SoapOperation("echoBean", "echoBean", "echoBeanResponse", "urn:echo")
+        ]
+    return document
+
+
+class TestBuilder:
+    def test_serialized_text_is_wellformed(self):
+        text = serialize_wsdl(_sample_document(), pretty=True)
+        root = parse(text)
+        assert root.name.local == "definitions"
+
+    def test_conventional_prefixes_declared(self):
+        text = serialize_wsdl(_sample_document())
+        for declaration in ("xmlns:wsdl=", "xmlns:soap=", "xmlns:xsd=", "xmlns:tns="):
+            assert declaration in text
+
+    def test_dotnet_style_s_prefix(self):
+        text = serialize_wsdl(_sample_document(schema_prefix="s"))
+        assert "<s:schema" in text
+        assert 'xmlns:s="http://www.w3.org/2001/XMLSchema"' in text
+
+    def test_extension_marker_rendered(self):
+        text = serialize_wsdl(_sample_document(markers=("jaxws-bindings",)))
+        assert "jaxws:bindings" in text
+
+    def test_soap_binding_rendered(self):
+        text = serialize_wsdl(_sample_document())
+        assert f'transport="{SOAP_HTTP_TRANSPORT}"' in text
+        assert 'style="document"' in text
+        assert 'use="literal"' in text
+
+
+class TestReader:
+    def test_roundtrip_core_fields(self):
+        document = _sample_document(markers=("jaxws-bindings",))
+        back = read_wsdl_text(serialize_wsdl(document))
+        assert back.name == document.name
+        assert back.target_namespace == TNS
+        assert back.service_name == "EchoBeanService"
+        assert back.port_name == "EchoBeanPort"
+        assert back.endpoint_url == document.endpoint_url
+        assert back.extension_markers == ("jaxws-bindings",)
+
+    def test_roundtrip_operations_and_actions(self):
+        back = read_wsdl_text(serialize_wsdl(_sample_document()))
+        assert len(back.operations) == 1
+        operation = back.operations[0]
+        assert operation.name == "echoBean"
+        assert operation.input_message == "echoBean"
+        assert operation.output_message == "echoBeanResponse"
+        assert operation.soap_action == "urn:echo"
+
+    def test_roundtrip_messages(self):
+        back = read_wsdl_text(serialize_wsdl(_sample_document()))
+        message = back.message("echoBean")
+        assert message.element == QName(TNS, "echoBean")
+        assert back.message("missing") is None
+
+    def test_roundtrip_binding(self):
+        back = read_wsdl_text(serialize_wsdl(_sample_document()))
+        assert back.binding == SoapBindingInfo()
+
+    def test_roundtrip_schema_prefix(self):
+        back = read_wsdl_text(serialize_wsdl(_sample_document(schema_prefix="s")))
+        assert back.schema_prefix == "s"
+
+    def test_empty_port_type_roundtrips(self):
+        document = _sample_document(operations=False)
+        back = read_wsdl_text(serialize_wsdl(document))
+        assert back.operations == []
+        assert back.messages == []
+
+    def test_global_element_lookup(self):
+        back = read_wsdl_text(serialize_wsdl(_sample_document()))
+        decl = back.global_element(QName(TNS, "echoBean"))
+        assert decl is not None
+        assert decl.inline_type.particles[0].type_name == QName(TNS, "Bean")
+        assert back.global_element(QName(TNS, "nope")) is None
+
+    def test_schema_for_lookup(self):
+        back = read_wsdl_text(serialize_wsdl(_sample_document()))
+        assert back.schema_for(TNS) is not None
+        assert back.schema_for("urn:none") is None
+
+    def test_non_wsdl_root_rejected(self):
+        with pytest.raises(WsdlReadError):
+            read_wsdl_text("<a/>")
+
+    def test_missing_target_namespace_rejected(self):
+        text = '<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"/>'
+        with pytest.raises(WsdlReadError):
+            read_wsdl_text(text)
+
+    def test_type_typed_part_rejected(self):
+        text = (
+            '<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" '
+            'targetNamespace="urn:t">'
+            '<wsdl:message name="m"><wsdl:part name="p" type="x"/></wsdl:message>'
+            "</wsdl:definitions>"
+        )
+        with pytest.raises(WsdlReadError):
+            read_wsdl_text(text)

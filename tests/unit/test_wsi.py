@@ -1,0 +1,213 @@
+"""Unit tests for the WS-I Basic Profile analyzer."""
+
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, TypeInfo
+from repro.frameworks.server.common import build_echo_wsdl
+from repro.wsdl.model import SoapBindingInfo
+from repro.wsi import BasicProfileAnalyzer, Severity, check_document
+from repro.xmlcore import QName, XML_NS, XSD_NS
+from repro.xsd import (
+    AnyParticle,
+    AttributeDecl,
+    ComplexType,
+    IdentityConstraint,
+    RefParticle,
+    SchemaImport,
+)
+
+
+def _clean_document():
+    service = ServiceDefinition(
+        TypeInfo(Language.JAVA, "java.util", "Date",
+                 properties=(Property("time"),))
+    )
+    return build_echo_wsdl(service, "http://localhost:8080/x")
+
+
+def _ids(report):
+    return {violation.assertion_id for violation in report.violations}
+
+
+class TestCleanDocument:
+    def test_passes_all_assertions(self):
+        report = check_document(_clean_document())
+        assert report.conformant
+        assert report.clean
+        assert report.assertions_checked == BasicProfileAnalyzer().assertion_count
+
+    def test_summary_mentions_pass(self):
+        assert "PASS" in check_document(_clean_document()).summary()
+
+
+class TestBindingAssertions:
+    def test_bad_transport_fails(self):
+        document = _clean_document()
+        document.binding = SoapBindingInfo(transport="http://example.com/smtp")
+        report = check_document(document)
+        assert not report.conformant
+        assert "BP2702" in _ids(report)
+
+    def test_encoded_use_fails(self):
+        document = _clean_document()
+        document.binding = SoapBindingInfo(use="encoded")
+        assert "BP2706" in _ids(check_document(document))
+
+    def test_bad_style_fails(self):
+        document = _clean_document()
+        document.binding = SoapBindingInfo(style="rpc-encoded")
+        assert "BP2705" in _ids(check_document(document))
+
+    def test_relative_target_namespace_fails(self):
+        document = _clean_document()
+        document.target_namespace = "not-a-uri"
+        assert "BP2019" in _ids(check_document(document))
+
+    def test_urn_target_namespace_passes(self):
+        document = _clean_document()
+        document.target_namespace = "urn:services:test"
+        assert "BP2019" not in _ids(check_document(document))
+
+
+class TestPortTypeAssertions:
+    def test_empty_port_type_is_advisory_only(self):
+        document = _clean_document()
+        document.operations = []
+        document.messages = []
+        document.schemas[0].elements = []
+        report = check_document(document)
+        assert report.conformant  # no failures...
+        assert not report.clean  # ...but flagged
+        assert [v.severity for v in report.violations] == [Severity.ADVISORY]
+        assert "BP2010" in _ids(report)
+
+    def test_duplicate_operation_names_fail(self):
+        document = _clean_document()
+        document.operations = document.operations * 2
+        assert "BP2304" in _ids(check_document(document))
+
+    def test_missing_message_reference_fails(self):
+        document = _clean_document()
+        document.messages = []
+        assert "BP2201" in _ids(check_document(document))
+
+    def test_unresolvable_part_element_fails(self):
+        document = _clean_document()
+        document.schemas[0].elements = []
+        assert "BP2202" in _ids(check_document(document))
+
+    def test_wrapper_name_mismatch_is_advisory(self):
+        document = _clean_document()
+        document.operations[0] = type(document.operations[0])(
+            name="other",
+            input_message=document.operations[0].input_message,
+            output_message=document.operations[0].output_message,
+        )
+        report = check_document(document)
+        assert "BP2032" in _ids(report)
+
+    def test_missing_endpoint_address_fails(self):
+        document = _clean_document()
+        document.endpoint_url = ""
+        assert "BP2804" in _ids(check_document(document))
+
+    def test_non_http_address_fails(self):
+        document = _clean_document()
+        document.endpoint_url = "jms://queue/orders"
+        assert "BP2406" in _ids(check_document(document))
+
+    def test_schema_without_target_namespace_fails(self):
+        document = _clean_document()
+        document.schemas[0].target_namespace = None
+        assert "BP2115" in _ids(check_document(document))
+
+
+class TestSchemaAssertions:
+    def test_import_without_location_fails(self):
+        document = _clean_document()
+        document.schemas[0].imports.append(SchemaImport("urn:other"))
+        assert "BP2104" in _ids(check_document(document))
+
+    def test_import_with_location_passes(self):
+        document = _clean_document()
+        document.schemas[0].imports.append(SchemaImport("urn:other", "other.xsd"))
+        assert "BP2104" not in _ids(check_document(document))
+
+    def test_xsd_namespace_element_ref_fails(self):
+        document = _clean_document()
+        document.schemas[0].complex_types.append(
+            ComplexType(name="Rows", particles=[RefParticle(QName(XSD_NS, "schema"))])
+        )
+        assert "BP2105" in _ids(check_document(document))
+
+    def test_dangling_tns_ref_fails(self):
+        document = _clean_document()
+        tns = document.target_namespace
+        document.schemas[0].complex_types.append(
+            ComplexType(name="T", particles=[RefParticle(QName(tns, "ghost"))])
+        )
+        assert "BP2105" in _ids(check_document(document))
+
+    def test_foreign_ref_without_import_fails(self):
+        document = _clean_document()
+        document.schemas[0].complex_types.append(
+            ComplexType(name="T", particles=[RefParticle(QName("urn:wsa", "EPR"))])
+        )
+        assert "BP2105" in _ids(check_document(document))
+
+    def test_foreign_ref_with_import_passes(self):
+        document = _clean_document()
+        schema = document.schemas[0]
+        schema.imports.append(SchemaImport("urn:wsa", "wsa.xsd"))
+        schema.complex_types.append(
+            ComplexType(name="T", particles=[RefParticle(QName("urn:wsa", "EPR"))])
+        )
+        assert "BP2105" not in _ids(check_document(document))
+
+    def test_xml_lang_ref_without_import_fails(self):
+        document = _clean_document()
+        document.schemas[0].complex_types.append(
+            ComplexType(name="T", attributes=[AttributeDecl(ref=QName(XML_NS, "lang"))])
+        )
+        assert "BP2110" in _ids(check_document(document))
+
+    def test_duplicate_attribute_fails(self):
+        document = _clean_document()
+        duplicate = AttributeDecl("lenient", QName(XSD_NS, "boolean"))
+        document.schemas[0].complex_types.append(
+            ComplexType(name="T", attributes=[duplicate, duplicate])
+        )
+        assert "BP2120" in _ids(check_document(document))
+
+    def test_notation_attribute_fails(self):
+        document = _clean_document()
+        document.schemas[0].complex_types.append(
+            ComplexType(
+                name="T",
+                attributes=[AttributeDecl("p", QName(XSD_NS, "NOTATION"))],
+            )
+        )
+        assert "BP2113" in _ids(check_document(document))
+
+    def test_lax_wildcard_is_compliant(self):
+        document = _clean_document()
+        document.schemas[0].complex_types.append(
+            ComplexType(
+                name="T",
+                particles=[AnyParticle(process_contents="lax", max_occurs=None)],
+                mixed=True,
+            )
+        )
+        assert check_document(document).conformant
+
+    def test_keyref_is_compliant(self):
+        document = _clean_document()
+        document.schemas[0].complex_types.append(
+            ComplexType(
+                name="T",
+                constraints=[
+                    IdentityConstraint("keyref", "K", ".//row", ("@id",),
+                                       QName(document.target_namespace, "TK"))
+                ],
+            )
+        )
+        assert check_document(document).conformant

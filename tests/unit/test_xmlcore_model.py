@@ -1,0 +1,170 @@
+"""Unit tests for the XML element model."""
+
+import pytest
+
+from repro.xmlcore import Element, QName
+
+
+class TestQName:
+    def test_two_part_construction(self):
+        name = QName("urn:x", "doc")
+        assert name.namespace == "urn:x"
+        assert name.local == "doc"
+
+    def test_single_part_means_no_namespace(self):
+        name = QName("doc")
+        assert name.namespace is None
+        assert name.local == "doc"
+
+    def test_equality_by_value(self):
+        assert QName("urn:x", "a") == QName("urn:x", "a")
+        assert QName("urn:x", "a") != QName("urn:y", "a")
+        assert QName("urn:x", "a") != QName("urn:x", "b")
+
+    def test_hashable(self):
+        names = {QName("urn:x", "a"), QName("urn:x", "a"), QName("b")}
+        assert len(names) == 2
+
+    def test_immutable(self):
+        name = QName("urn:x", "a")
+        with pytest.raises(AttributeError):
+            name.local = "b"
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(ValueError):
+            QName("urn:x", "")
+
+    def test_clark_notation(self):
+        assert QName("urn:x", "a").text() == "{urn:x}a"
+        assert QName("a").text() == "a"
+
+    def test_comparison_with_non_qname(self):
+        assert QName("a") != "a"
+
+
+class TestElement:
+    def test_text_constructor(self):
+        element = Element(QName("a"), text="hello")
+        assert element.text == "hello"
+
+    def test_string_name_promoted(self):
+        element = Element("plain")
+        assert element.name == QName("plain")
+
+    def test_set_and_get_attribute(self):
+        element = Element(QName("a"))
+        element.set("id", "42")
+        assert element.get("id") == "42"
+        assert element.get(QName("id")) == "42"
+
+    def test_get_missing_attribute_default(self):
+        assert Element(QName("a")).get("nope", "dflt") == "dflt"
+
+    def test_add_child_returns_child(self):
+        root = Element(QName("root"))
+        child = root.add_child(Element(QName("child")))
+        assert child.name.local == "child"
+        assert root.children == [child]
+
+    def test_add_child_rejects_non_element(self):
+        with pytest.raises(TypeError):
+            Element(QName("a")).add_child("text")
+
+    def test_mixed_content_order_preserved(self):
+        root = Element(QName("root"))
+        root.add_text("one")
+        root.add_child(Element(QName("b")))
+        root.add_text("two")
+        assert [type(item).__name__ for item in root.content] == [
+            "str",
+            "Element",
+            "str",
+        ]
+        assert root.text == "onetwo"
+
+    def test_find_by_qname(self):
+        root = Element(QName("urn:x", "root"))
+        root.add_child(Element(QName("urn:x", "a")))
+        target = root.add_child(Element(QName("urn:y", "a")))
+        assert root.find(QName("urn:y", "a")) is target
+        assert root.find(QName("urn:z", "a")) is None
+
+    def test_find_all_filters_by_namespace(self):
+        root = Element(QName("root"))
+        root.add_child(Element(QName("urn:x", "a")))
+        root.add_child(Element(QName("urn:x", "a")))
+        root.add_child(Element(QName("urn:y", "a")))
+        assert len(root.find_all(QName("urn:x", "a"))) == 2
+
+    def test_find_local_ignores_namespace(self):
+        root = Element(QName("root"))
+        root.add_child(Element(QName("urn:x", "a")))
+        assert root.find_local("a") is not None
+        assert root.find_local("b") is None
+
+    def test_iter_depth_first(self):
+        root = Element(QName("r"))
+        a = root.add_child(Element(QName("a")))
+        a.add_child(Element(QName("b")))
+        root.add_child(Element(QName("c")))
+        names = [el.name.local for el in root.iter()]
+        assert names == ["r", "a", "b", "c"]
+
+    def test_iter_named(self):
+        root = Element(QName("urn:x", "r"))
+        root.add_child(Element(QName("urn:x", "a")))
+        nested = root.add_child(Element(QName("urn:x", "b")))
+        nested.add_child(Element(QName("urn:x", "a")))
+        assert len(list(root.iter_named(QName("urn:x", "a")))) == 2
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        def build():
+            root = Element(QName("urn:x", "r"), attributes={QName("id"): "1"})
+            root.add_child(Element(QName("urn:x", "c"), text="v"))
+            return root
+
+        assert build().structurally_equal(build())
+
+    def test_whitespace_insensitive(self):
+        left = Element(QName("r"))
+        left.add_text("  \n ")
+        left.add_child(Element(QName("c")))
+        right = Element(QName("r"))
+        right.add_child(Element(QName("c")))
+        assert left.structurally_equal(right)
+
+    def test_attribute_difference_detected(self):
+        left = Element(QName("r"), attributes={QName("a"): "1"})
+        right = Element(QName("r"), attributes={QName("a"): "2"})
+        assert not left.structurally_equal(right)
+
+    def test_text_difference_detected(self):
+        assert not Element(QName("r"), text="a").structurally_equal(
+            Element(QName("r"), text="b")
+        )
+
+    def test_child_count_difference_detected(self):
+        left = Element(QName("r"))
+        left.add_child(Element(QName("c")))
+        assert not left.structurally_equal(Element(QName("r")))
+
+
+class TestResolveQNameValue:
+    def test_resolves_prefixed_value(self):
+        element = Element(QName("a"))
+        element.nsscope = {"xsd": "urn:schema"}
+        resolved = element.resolve_qname_value("xsd:string")
+        assert resolved == QName("urn:schema", "string")
+
+    def test_unprefixed_uses_default(self):
+        element = Element(QName("a"))
+        resolved = element.resolve_qname_value("string", default_namespace="urn:d")
+        assert resolved == QName("urn:d", "string")
+
+    def test_undeclared_prefix_raises(self):
+        element = Element(QName("a"))
+        element.nsscope = {}
+        with pytest.raises(KeyError):
+            element.resolve_qname_value("nope:string")

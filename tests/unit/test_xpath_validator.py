@@ -1,0 +1,156 @@
+"""Unit tests for the XPath-lite selector and the WSDL validator."""
+
+import pytest
+
+from repro.appservers import GlassFish
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, TypeInfo
+from repro.wsdl import read_wsdl_text
+from repro.wsdl.validator import is_structurally_valid, validate_wsdl
+from repro.xmlcore import WSDL_NS, parse
+from repro.xmlcore.xpath import XPathError, select, select_one
+
+_DOC = """
+<catalog xmlns:m="urn:media">
+  <m:book id="1" lang="en"><title>Alpha</title></m:book>
+  <m:book id="2"><title>Beta</title><title>Gamma</title></m:book>
+  <m:disc id="3" lang="fr"><title>Delta</title></m:disc>
+  <shelf><m:book id="4"><title>Epsilon</title></m:book></shelf>
+</catalog>
+"""
+
+NS = {"m": "urn:media"}
+
+
+@pytest.fixture()
+def root():
+    return parse(_DOC)
+
+
+class TestSelect:
+    def test_child_steps(self, root):
+        books = select(root, "m:book", NS)
+        assert [b.get("id") for b in books] == ["1", "2"]
+
+    def test_nested_path(self, root):
+        titles = select(root, "m:book/title/text()", NS)
+        assert titles == ["Alpha", "Beta", "Gamma"]
+
+    def test_descendant_step(self, root):
+        books = select(root, "//m:book", NS)
+        assert [b.get("id") for b in books] == ["1", "2", "4"]
+
+    def test_wildcard(self, root):
+        children = select(root, "*")
+        assert len(children) == 4
+
+    def test_attribute_terminal(self, root):
+        assert select(root, "m:book/@id", NS) == ["1", "2"]
+
+    def test_attribute_missing_skipped(self, root):
+        assert select(root, "m:book/@lang", NS) == ["en"]
+
+    def test_position_predicate(self, root):
+        assert select_one(root, "m:book[2]/@id", NS) == "2"
+
+    def test_attribute_presence_predicate(self, root):
+        assert select_one(root, "m:disc[@lang]/@id", NS) == "3"
+
+    def test_attribute_value_predicate(self, root):
+        assert select(root, "m:book[@id='2']/title/text()", NS) == ["Beta", "Gamma"]
+
+    def test_descendant_with_predicate(self, root):
+        assert select_one(root, "//m:book[@id='4']/title/text()", NS) == "Epsilon"
+
+    def test_select_one_default(self, root):
+        assert select_one(root, "m:book[@id='99']", NS, default="none") == "none"
+
+    def test_text_on_root(self, root):
+        assert select(root, "shelf//title/text()") == ["Epsilon"]
+
+    def test_unbound_prefix_rejected(self, root):
+        with pytest.raises(XPathError):
+            select(root, "x:book")
+
+    @pytest.mark.parametrize("bad", ["", "/", "a//", "a/[1]", "a[0]", "a[@@]"])
+    def test_malformed_paths_rejected(self, root, bad):
+        with pytest.raises(XPathError):
+            select(root, bad)
+
+    def test_non_element_rejected(self):
+        with pytest.raises(TypeError):
+            select("nope", "a")
+
+    def test_works_on_real_wsdl(self):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        root = parse(record.wsdl_text)
+        ns = {"wsdl": WSDL_NS}
+        ops = select(root, "wsdl:portType/wsdl:operation/@name", ns)
+        assert ops == ["echoPlain"]
+        location = select_one(
+            root, "wsdl:service/wsdl:port/*[1]/@location", ns
+        )
+        assert location == record.endpoint_url
+
+
+class TestWsdlValidator:
+    def _document(self):
+        entry = TypeInfo(Language.JAVA, "pkg", "Plain",
+                         properties=(Property("size"),))
+        record = GlassFish().deploy(ServiceDefinition(entry))
+        return read_wsdl_text(record.wsdl_text)
+
+    def test_emitted_documents_are_valid(self):
+        document = self._document()
+        assert is_structurally_valid(document)
+
+    def test_duplicate_message_detected(self):
+        document = self._document()
+        document.messages.append(document.messages[0])
+        codes = {issue.code for issue in validate_wsdl(document)}
+        assert "duplicate-message" in codes
+
+    def test_duplicate_operation_detected(self):
+        document = self._document()
+        document.operations.append(document.operations[0])
+        codes = {issue.code for issue in validate_wsdl(document)}
+        assert "duplicate-operation" in codes
+
+    def test_dangling_message_reference_detected(self):
+        document = self._document()
+        document.messages = document.messages[:1]
+        codes = {issue.code for issue in validate_wsdl(document)}
+        assert "dangling-message-ref" in codes
+
+    def test_dangling_part_element_detected(self):
+        document = self._document()
+        document.schemas[0].elements = []
+        codes = {issue.code for issue in validate_wsdl(document)}
+        assert "dangling-part-element" in codes
+
+    def test_missing_transport_detected(self):
+        from repro.wsdl.model import SoapBindingInfo
+
+        document = self._document()
+        document.binding = SoapBindingInfo(transport="")
+        codes = {issue.code for issue in validate_wsdl(document)}
+        assert "no-soap-binding" in codes
+
+    def test_empty_port_type_is_structurally_fine(self):
+        """The JBossWS zero-operation WSDL is *valid* WSDL — that is the
+        paper's §IV.A complaint about the schema's minOccurs=0."""
+        document = self._document()
+        document.operations = []
+        document.messages = []
+        document.schemas[0].elements = []
+        assert is_structurally_valid(document)
+
+    def test_all_campaign_wsdls_are_valid(self, quick_java_catalog):
+        from repro.services import generate_corpus
+
+        server = GlassFish()
+        server.deploy_corpus(generate_corpus(quick_java_catalog))
+        for record in server.deployed:
+            assert is_structurally_valid(read_wsdl_text(record.wsdl_text))

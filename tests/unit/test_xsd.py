@@ -1,0 +1,270 @@
+"""Unit tests for the XSD substrate (model, builder, reader)."""
+
+import pytest
+
+from repro.typesystem import SimpleType
+from repro.xmlcore import QName, XSD_NS, parse, serialize
+from repro.xsd import (
+    AnyParticle,
+    AttributeDecl,
+    ComplexType,
+    ElementDecl,
+    ElementParticle,
+    IdentityConstraint,
+    RefParticle,
+    Schema,
+    SchemaError,
+    SchemaImport,
+    SchemaReadError,
+    SimpleTypeDecl,
+    build_schema_element,
+    read_schema,
+    xsd_name_for,
+)
+
+_PREFIXES = {XSD_NS: "xsd", "urn:tns": "tns"}
+
+
+def _roundtrip(schema):
+    element = build_schema_element(schema, _PREFIXES)
+    # QName attribute values need declared prefixes when serialized.
+    element.set(QName("xmlns:xsd"), XSD_NS)
+    element.set(QName("xmlns:tns"), "urn:tns")
+    return read_schema(parse(serialize(element)))
+
+
+class TestBuiltins:
+    def test_simple_type_mapping(self):
+        assert xsd_name_for(SimpleType.STRING) == QName(XSD_NS, "string")
+        assert xsd_name_for(SimpleType.BYTES) == QName(XSD_NS, "base64Binary")
+        assert xsd_name_for(SimpleType.DATETIME) == QName(XSD_NS, "dateTime")
+
+    def test_char_maps_to_unsigned_short(self):
+        assert xsd_name_for(SimpleType.CHAR).local == "unsignedShort"
+
+
+class TestBuilder:
+    def test_target_namespace_and_form(self):
+        schema = Schema(target_namespace="urn:tns")
+        element = build_schema_element(schema, _PREFIXES)
+        assert element.get(QName("targetNamespace")) == "urn:tns"
+        assert element.get(QName("elementFormDefault")) == "qualified"
+
+    def test_import_without_location_omits_attribute(self):
+        schema = Schema(target_namespace="urn:tns",
+                        imports=[SchemaImport("urn:other")])
+        element = build_schema_element(schema, _PREFIXES)
+        import_el = element.find(QName(XSD_NS, "import"))
+        assert import_el.get(QName("schemaLocation")) is None
+
+    def test_unnamed_top_level_type_rejected(self):
+        schema = Schema(target_namespace="urn:tns",
+                        complex_types=[ComplexType()])
+        with pytest.raises(SchemaError):
+            build_schema_element(schema, _PREFIXES)
+
+    def test_missing_prefix_rejected(self):
+        schema = Schema(
+            target_namespace="urn:tns",
+            complex_types=[
+                ComplexType(
+                    name="T",
+                    particles=[
+                        ElementParticle("x", QName("urn:undeclared", "Y"))
+                    ],
+                )
+            ],
+        )
+        with pytest.raises(SchemaError):
+            build_schema_element(schema, _PREFIXES)
+
+    def test_prefix_hint_controls_schema_prefix(self):
+        schema = Schema(target_namespace="urn:tns")
+        element = build_schema_element(schema, {XSD_NS: "s"}, prefix_hint="s")
+        element.set(QName("xmlns:s"), XSD_NS)
+        text = serialize(element)
+        assert "<s:schema" in text
+
+
+class TestRoundTrip:
+    def test_element_with_named_type(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(
+                name="Bean",
+                particles=[
+                    ElementParticle("count", QName(XSD_NS, "int")),
+                    ElementParticle(
+                        "tags", QName(XSD_NS, "string"), min_occurs=0, max_occurs=None
+                    ),
+                ],
+            )
+        )
+        schema.elements.append(
+            ElementDecl("wrapper", type_name=QName("urn:tns", "Bean"))
+        )
+        back = _roundtrip(schema)
+        bean = back.complex_type("Bean")
+        assert bean.particles[0].type_name == QName(XSD_NS, "int")
+        assert bean.particles[1].max_occurs is None
+        assert back.element("wrapper").type_name == QName("urn:tns", "Bean")
+
+    def test_inline_complex_type(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.elements.append(
+            ElementDecl(
+                "wrapper",
+                inline_type=ComplexType(
+                    particles=[ElementParticle("x", QName(XSD_NS, "string"))]
+                ),
+            )
+        )
+        back = _roundtrip(schema)
+        assert back.element("wrapper").inline_type.particles[0].name == "x"
+
+    def test_nillable_flag_survives(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(
+                name="T",
+                particles=[
+                    ElementParticle(
+                        "x", QName(XSD_NS, "int"), nillable=True, max_occurs=None
+                    )
+                ],
+            )
+        )
+        back = _roundtrip(schema)
+        particle = back.complex_type("T").particles[0]
+        assert particle.nillable and particle.max_occurs is None
+
+    def test_ref_particle_survives(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(name="T", particles=[RefParticle(QName(XSD_NS, "schema"))])
+        )
+        back = _roundtrip(schema)
+        assert back.complex_type("T").particles[0].ref == QName(XSD_NS, "schema")
+
+    def test_any_particle_survives(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(
+                name="T",
+                particles=[
+                    AnyParticle(process_contents="lax", min_occurs=0, max_occurs=None)
+                ],
+                mixed=True,
+            )
+        )
+        back = _roundtrip(schema)
+        ctype = back.complex_type("T")
+        assert ctype.mixed
+        any_particle = ctype.particles[0]
+        assert any_particle.process_contents == "lax"
+        assert any_particle.min_occurs == 0 and any_particle.max_occurs is None
+
+    def test_attributes_survive_including_duplicates(self):
+        duplicate = AttributeDecl("lenient", QName(XSD_NS, "boolean"))
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(name="T", attributes=[duplicate, duplicate])
+        )
+        back = _roundtrip(schema)
+        attrs = back.complex_type("T").attributes
+        assert len(attrs) == 2
+        assert attrs[0].name == attrs[1].name == "lenient"
+
+    def test_attribute_ref_survives(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(
+                name="T",
+                attributes=[
+                    AttributeDecl(
+                        ref=QName("http://www.w3.org/XML/1998/namespace", "lang")
+                    )
+                ],
+            )
+        )
+        element = build_schema_element(
+            schema, {**_PREFIXES, "http://www.w3.org/XML/1998/namespace": "xml"}
+        )
+        element.set(QName("xmlns:xsd"), XSD_NS)
+        back = read_schema(parse(serialize(element)))
+        assert back.complex_type("T").attributes[0].ref.local == "lang"
+
+    def test_identity_constraint_survives(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.complex_types.append(
+            ComplexType(
+                name="T",
+                constraints=[
+                    IdentityConstraint(
+                        kind="keyref",
+                        name="RowRef",
+                        selector=".//row",
+                        fields=("@id",),
+                        refer=QName("urn:tns", "TKey"),
+                    )
+                ],
+            )
+        )
+        back = _roundtrip(schema)
+        constraint = back.complex_type("T").constraints[0]
+        assert constraint.kind == "keyref"
+        assert constraint.refer == QName("urn:tns", "TKey")
+        assert constraint.fields == ("@id",)
+
+    def test_simple_type_enum_survives(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.simple_types.append(
+            SimpleTypeDecl(
+                name="Status",
+                base=QName(XSD_NS, "string"),
+                enumerations=("Open", "Closed"),
+            )
+        )
+        back = _roundtrip(schema)
+        status = back.simple_type("Status")
+        assert status.enumerations == ("Open", "Closed")
+
+    def test_imports_survive(self):
+        schema = Schema(
+            target_namespace="urn:tns",
+            imports=[SchemaImport("urn:a", "a.xsd"), SchemaImport("urn:b")],
+        )
+        back = _roundtrip(schema)
+        assert back.imports[0].location == "a.xsd"
+        assert back.imports[1].location is None
+
+
+class TestReaderErrors:
+    def test_non_schema_element_rejected(self):
+        with pytest.raises(SchemaReadError):
+            read_schema(parse("<a/>"))
+
+    def test_nameless_global_element_rejected(self):
+        text = (
+            f'<xsd:schema xmlns:xsd="{XSD_NS}"><xsd:element/></xsd:schema>'
+        )
+        with pytest.raises(SchemaReadError):
+            read_schema(parse(text))
+
+    def test_local_element_without_type_rejected(self):
+        text = (
+            f'<xsd:schema xmlns:xsd="{XSD_NS}">'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="x"/>'
+            "</xsd:sequence></xsd:complexType></xsd:schema>"
+        )
+        with pytest.raises(SchemaReadError):
+            read_schema(parse(text))
+
+    def test_all_complex_types_includes_anonymous(self):
+        schema = Schema(target_namespace="urn:tns")
+        schema.elements.append(
+            ElementDecl("w", inline_type=ComplexType())
+        )
+        schema.complex_types.append(ComplexType(name="T"))
+        assert len(schema.all_complex_types()) == 2
