@@ -1,0 +1,75 @@
+"""Resilience extension — survival under injected faults.
+
+Sweeps all six fault kinds over a sampled slice of the corpus with every
+client wrapped in its era-accurate retry policy, and checks the claims
+the extension exists to make observable: chaos hurts, retrying stacks
+survive transient server trouble better than naive ones, and recovery
+(DEGRADED completions) happens only where a retry budget exists.
+"""
+
+from conftest import print_rows
+
+from repro.core import CampaignConfig
+from repro.faults import (
+    FaultKind,
+    ResilienceCampaign,
+    ResilienceCampaignConfig,
+    policy_for,
+)
+
+
+def test_resilience_sweep(benchmark):
+    config = ResilienceCampaignConfig(
+        base=CampaignConfig(),
+        seed=20140622,
+        rates=(0.25,),
+        sample_per_server=12,
+    )
+    campaign = ResilienceCampaign(config)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    rows = []
+    for kind in result.fault_kinds:
+        survival = result.client_survival(kind, 0.25)
+        ranked = sorted(survival.items(), key=lambda item: -item[1])
+        rows.append(
+            (
+                kind,
+                f"{ranked[0][0]} {ranked[0][1]:.2f}",
+                f"{ranked[-1][0]} {ranked[-1][1]:.2f}",
+            )
+        )
+    print_rows(
+        "Survival under 25% fault injection (best/worst client per kind)",
+        ("Fault kind", "Most robust", "Least robust"),
+        rows,
+    )
+    totals = result.totals()
+    print()
+    print(f"totals: {totals}")
+
+    assert totals["tests"] > 0
+    # Chaos hurts: not every test completes under a 25% fault rate.
+    assert totals["completed"] < totals["tests"]
+    # Recovery exists and is exclusive to clients with a retry budget.
+    assert totals["recovered"] > 0
+    for (server, client, kind, rate), cell in result.cells.items():
+        if cell.recovered:
+            assert policy_for(client).max_retries > 0, (server, client, kind)
+
+    # Aggregate over transient server trouble (500/503): the retrying
+    # stacks outrank the die-on-first-failure stacks.
+    def survival_over(kinds, client_id):
+        tests = completed = 0
+        for (server, client, cell_kind, rate), cell in result.cells.items():
+            if client == client_id and cell_kind in kinds:
+                tests += cell.tests
+                completed += cell.completed
+        return completed / tests if tests else 0.0
+
+    transient = {FaultKind.HTTP_500.value, FaultKind.HTTP_503.value}
+    for retrying in ("metro", "cxf"):
+        for naive in ("suds", "zend", "gsoap"):
+            assert survival_over(transient, retrying) > survival_over(
+                transient, naive
+            ), (retrying, naive)

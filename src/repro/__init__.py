@@ -24,18 +24,23 @@ Run the paper-scale campaign (79,629 tests, ~30 s) with
 
 from repro.core import (
     Campaign,
+    CampaignCheckpoint,
     CampaignConfig,
     CampaignResult,
     run_default_campaign,
 )
+from repro.faults import ResilienceCampaign, ResilienceCampaignConfig
 from repro.frameworks import all_client_frameworks, all_server_frameworks
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignConfig",
     "CampaignResult",
+    "ResilienceCampaign",
+    "ResilienceCampaignConfig",
     "all_client_frameworks",
     "all_server_frameworks",
     "run_default_campaign",

@@ -24,6 +24,7 @@ import time
 from repro.appservers import container_for
 from repro.core import Campaign, CampaignConfig
 from repro.core.analysis import headline_numbers
+from repro.core.store import CheckpointMismatch
 from repro.frameworks.registry import CLIENT_IDS, SERVER_IDS, client_framework
 from repro.reporting import (
     comparison_rows,
@@ -58,10 +59,21 @@ def _progress(message):
     print(f"  {message}", file=sys.stderr)
 
 
+def _checkpoint_from(args):
+    if getattr(args, "checkpoint_dir", None):
+        from repro.core.store import CampaignCheckpoint
+
+        return CampaignCheckpoint(args.checkpoint_dir)
+    return None
+
+
 def _run_campaign(args):
     config = _config_from(args)
     started = time.time()
-    result = Campaign(config).run(progress=_progress if args.verbose else None)
+    result = Campaign(config).run(
+        progress=_progress if args.verbose else None,
+        checkpoint=_checkpoint_from(args),
+    )
     elapsed = time.time() - started
     print(f"campaign finished in {elapsed:.1f}s", file=sys.stderr)
     return result
@@ -259,6 +271,69 @@ def cmd_lifecycle_campaign(args):
     return 0
 
 
+def cmd_resilience(args):
+    from repro.faults import (
+        FaultKind,
+        ResilienceCampaign,
+        ResilienceCampaignConfig,
+    )
+    from repro.reporting import (
+        render_client_robustness,
+        render_resilience_matrix,
+        resilience_to_json,
+    )
+
+    try:
+        if args.kinds:
+            kinds = tuple(
+                FaultKind(kind.strip()) for kind in args.kinds.split(",")
+            )
+        else:
+            kinds = tuple(FaultKind)
+    except ValueError:
+        valid = ", ".join(kind.value for kind in FaultKind)
+        print(f"error: unknown fault kind in {args.kinds!r}; "
+              f"valid kinds: {valid}", file=sys.stderr)
+        return 2
+    try:
+        rates = tuple(float(rate) for rate in args.rates.split(","))
+    except ValueError:
+        print(f"error: --rates expects comma-separated numbers, "
+              f"got {args.rates!r}", file=sys.stderr)
+        return 2
+    if any(not 0.0 <= rate <= 1.0 for rate in rates):
+        print(f"error: fault rates must be within [0, 1], got {args.rates!r}",
+              file=sys.stderr)
+        return 2
+    config = ResilienceCampaignConfig(
+        base=_config_from(args),
+        seed=args.seed,
+        fault_kinds=kinds,
+        rates=rates,
+        sample_per_server=args.sample,
+    )
+    campaign = ResilienceCampaign(config)
+    started = time.time()
+    result = campaign.run(
+        progress=_progress if args.verbose else None,
+        checkpoint=_checkpoint_from(args),
+    )
+    print(f"resilience sweep finished in {time.time() - started:.1f}s",
+          file=sys.stderr)
+    print(render_resilience_matrix(result, only_failing=args.only_failing))
+    print()
+    print(render_client_robustness(result))
+    totals = result.totals()
+    print()
+    for key, value in totals.items():
+        print(f"{key}: {value}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(resilience_to_json(result))
+        print(f"JSON written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_matrix(args):
     from repro.core.matrix import render_matrix
 
@@ -358,7 +433,46 @@ def build_parser():
     run_parser.add_argument(
         "--save", help="persist the full result (re-analyzable with `analyze`)"
     )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint each completed server here; re-run to resume",
+    )
     run_parser.set_defaults(func=cmd_run)
+
+    resilience_parser = sub.add_parser(
+        "resilience",
+        help="seeded fault-injection sweep over the five-step lifecycle",
+    )
+    resilience_parser.add_argument("--quick", action="store_true",
+                                   help="small corpora")
+    resilience_parser.add_argument("--verbose", action="store_true")
+    resilience_parser.add_argument(
+        "--seed", type=int, default=20140622,
+        help="fault-schedule seed (same seed = identical results)",
+    )
+    resilience_parser.add_argument(
+        "--sample", type=int, default=20,
+        help="deployed services per server driven through each fault config",
+    )
+    resilience_parser.add_argument(
+        "--kinds",
+        help="comma-separated fault kinds (default: all six); e.g. "
+        "http-503,latency,truncated-body",
+    )
+    resilience_parser.add_argument(
+        "--rates", default="0.15,0.35",
+        help="comma-separated injection rates to sweep",
+    )
+    resilience_parser.add_argument(
+        "--only-failing", action="store_true",
+        help="print only matrix rows with failures or recoveries",
+    )
+    resilience_parser.add_argument("--json", help="write the matrices here")
+    resilience_parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint each completed server here; re-run to resume",
+    )
+    resilience_parser.set_defaults(func=cmd_resilience)
 
     matrix_parser = sub.add_parser(
         "matrix", help="print the interoperability verdict grid"
@@ -430,7 +544,13 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CheckpointMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: point --checkpoint-dir at an empty directory, or "
+              "re-run with the original campaign parameters", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

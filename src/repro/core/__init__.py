@@ -17,10 +17,11 @@ from repro.core.extended import LifecycleCampaign, LifecycleCampaignResult
 from repro.core.outcomes import ClientTestRecord, Step, StepOutcome, StepStatus
 from repro.core.phases import PreparationPhase, TestingPhase
 from repro.core.results import CampaignResult, CellStats, ServerRunReport
-from repro.core.store import load_result, save_result
+from repro.core.store import CampaignCheckpoint, load_result, save_result
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignConfig",
     "LifecycleCampaign",
     "LifecycleCampaignResult",

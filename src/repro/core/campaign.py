@@ -81,12 +81,19 @@ class Campaign:
 
     # -- Testing Phase ---------------------------------------------------------
 
-    def run(self, progress=None):
+    def run(self, progress=None, checkpoint=None):
         """Execute the campaign; returns a :class:`CampaignResult`.
 
         ``progress`` is an optional callable ``(message: str) -> None``.
+        ``checkpoint`` is an optional
+        :class:`repro.core.store.CampaignCheckpoint`: each completed
+        server is persisted atomically, and a re-run against the same
+        checkpoint skips finished servers, reproducing the exact result
+        an uninterrupted run would have produced.
         """
         config = self.config
+        if checkpoint is not None:
+            checkpoint.guard("manifest", self._fingerprint())
         result = CampaignResult(
             server_ids=tuple(config.server_ids),
             client_ids=tuple(config.client_ids),
@@ -96,6 +103,10 @@ class Campaign:
             for client_id, client in all_client_frameworks().items()
             if client_id in config.client_ids
         }
+        # Apply what-if overrides, remembering originals: the instances
+        # come from a registry and must not leak mutated flags into
+        # back-to-back ablation runs.
+        original_flags = []
         for client_id, overrides in config.client_flag_overrides.items():
             client = clients.get(client_id)
             if client is None:
@@ -105,61 +116,116 @@ class Campaign:
                     raise AttributeError(
                         f"client {client_id!r} has no behaviour flag {flag!r}"
                     )
+                original_flags.append((client, flag, getattr(client, flag)))
+                setattr(client, flag, value)
+        try:
+            return self._run_servers(
+                result, clients, progress=progress, checkpoint=checkpoint
+            )
+        finally:
+            for client, flag, value in reversed(original_flags):
                 setattr(client, flag, value)
 
-        for server_id in config.server_ids:
-            started = time.perf_counter()
-            container = container_for(server_id)
-            corpus = self.corpus_for(server_id)
-            if progress:
-                progress(
-                    f"[{server_id}] deploying {len(corpus)} services on "
-                    f"{container.name} {container.version}"
+    def _fingerprint(self):
+        config = self.config
+        return {
+            "servers": list(config.server_ids),
+            "clients": list(config.client_ids),
+            "parse_per_client": config.parse_per_client,
+            "overrides": {
+                client_id: dict(flags)
+                for client_id, flags in sorted(
+                    config.client_flag_overrides.items()
                 )
-            container.deploy_corpus(corpus)
+            },
+        }
 
-            report = ServerRunReport(
-                server_id=server_id,
-                server_name=container.framework.name,
-                services_total=len(corpus),
-                deployed=len(container.deployed),
-                refused=len(container.refused),
-            )
+    def _run_servers(self, result, clients, progress=None, checkpoint=None):
+        from repro.core.store import server_slice_from_obj, server_slice_to_obj
 
-            for index, record in enumerate(container.deployed):
-                document = read_wsdl_text(record.wsdl_text)
-                wsi = check_document(document)
-                if wsi.failures:
-                    report.wsi_failing.add(document.name)
-                elif wsi.advisories:
-                    report.wsi_advisory_only.add(document.name)
-
-                for client_id, client in clients.items():
-                    if config.parse_per_client:
-                        document_for_client = read_wsdl_text(record.wsdl_text)
-                    else:
-                        document_for_client = document
-                    result.add_record(
-                        run_client_test(
-                            server_id, client_id, client, document_for_client
-                        )
-                    )
-                if progress and (index + 1) % 500 == 0:
-                    progress(
-                        f"[{server_id}] tested {index + 1}/{len(container.deployed)} "
-                        "services"
-                    )
-
-            result.servers[server_id] = report
-            result.meta.setdefault("wall_seconds", {})[server_id] = round(
-                time.perf_counter() - started, 3
-            )
-            if progress:
-                progress(
-                    f"[{server_id}] done: {report.deployed} deployed, "
-                    f"{report.refused} refused, {report.sdg_warnings} WS-I warnings"
+        config = self.config
+        for server_id in config.server_ids:
+            slice_key = f"server-{server_id}"
+            if checkpoint is not None and checkpoint.has(slice_key):
+                report, records, wall = server_slice_from_obj(
+                    server_id, checkpoint.load(slice_key)
+                )
+                for record in records:
+                    result.add_record(record)
+                result.servers[server_id] = report
+                result.meta.setdefault("wall_seconds", {})[server_id] = wall
+                if progress:
+                    progress(f"[{server_id}] restored from checkpoint")
+                continue
+            self._run_one_server(server_id, result, clients, progress)
+            if checkpoint is not None:
+                checkpoint.save(
+                    slice_key,
+                    server_slice_to_obj(
+                        result.servers[server_id],
+                        [
+                            record
+                            for record in result.records
+                            if record.server_id == server_id
+                        ],
+                        wall_seconds=result.meta["wall_seconds"][server_id],
+                    ),
                 )
         return result
+
+    def _run_one_server(self, server_id, result, clients, progress=None):
+        config = self.config
+        started = time.perf_counter()
+        container = container_for(server_id)
+        corpus = self.corpus_for(server_id)
+        if progress:
+            progress(
+                f"[{server_id}] deploying {len(corpus)} services on "
+                f"{container.name} {container.version}"
+            )
+        container.deploy_corpus(corpus)
+
+        report = ServerRunReport(
+            server_id=server_id,
+            server_name=container.framework.name,
+            services_total=len(corpus),
+            deployed=len(container.deployed),
+            refused=len(container.refused),
+        )
+
+        for index, record in enumerate(container.deployed):
+            document = read_wsdl_text(record.wsdl_text)
+            wsi = check_document(document)
+            if wsi.failures:
+                report.wsi_failing.add(document.name)
+            elif wsi.advisories:
+                report.wsi_advisory_only.add(document.name)
+
+            for client_id, client in clients.items():
+                if config.parse_per_client:
+                    document_for_client = read_wsdl_text(record.wsdl_text)
+                else:
+                    document_for_client = document
+                result.add_record(
+                    run_client_test(
+                        server_id, client_id, client, document_for_client
+                    )
+                )
+            if progress and (index + 1) % 500 == 0:
+                progress(
+                    f"[{server_id}] tested {index + 1}/{len(container.deployed)} "
+                    "services"
+                )
+
+        result.servers[server_id] = report
+        result.meta.setdefault("wall_seconds", {})[server_id] = round(
+            time.perf_counter() - started, 3
+        )
+        if progress:
+            progress(
+                f"[{server_id}] done: {report.deployed} deployed, "
+                f"{report.refused} refused, {report.sdg_warnings} WS-I warnings"
+            )
 
 
 def run_default_campaign(progress=None):

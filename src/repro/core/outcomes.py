@@ -20,13 +20,22 @@ class StepStatus(enum.Enum):
     ``SKIPPED`` means an earlier step's error suppressed this one;
     ``NOT_APPLICABLE`` marks compilation for dynamic-language platforms
     (Table II note 3 — instantiation is checked during generation).
+    ``DEGRADED`` is the resilience extension's distinction: the step
+    ultimately succeeded, but only after the client's retry policy
+    re-sent the request — "recovered" rather than "clean".
     """
 
     OK = "ok"
     WARNING = "warning"
     ERROR = "error"
+    DEGRADED = "degraded"
     SKIPPED = "skipped"
     NOT_APPLICABLE = "n/a"
+
+    @property
+    def succeeded(self):
+        """True when the step completed (possibly warned or degraded)."""
+        return self in (StepStatus.OK, StepStatus.WARNING, StepStatus.DEGRADED)
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,8 @@ so a saved run can be re-analyzed without re-executing 79,629 tests.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from repro.core.outcomes import ClientTestRecord, StepOutcome, StepStatus
 from repro.core.results import CampaignResult, ServerRunReport
@@ -98,13 +100,138 @@ def result_from_obj(obj):
     return result
 
 
+class CheckpointMismatch(ValueError):
+    """A checkpoint directory belongs to a different campaign config."""
+
+
+def write_json_atomic(obj, path):
+    """Write ``obj`` as JSON so a crash can never leave a corrupt file.
+
+    The payload goes to a temporary file in the destination directory
+    (same filesystem, so the final rename is atomic) and is fsynced
+    before ``os.replace`` publishes it under the real name.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def save_result(result, path, include_records=True):
-    """Write ``result`` to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result_to_obj(result, include_records=include_records), handle)
+    """Atomically write ``result`` to ``path`` as JSON."""
+    write_json_atomic(
+        result_to_obj(result, include_records=include_records), path
+    )
 
 
 def load_result(path):
     """Load a result previously written by :func:`save_result`."""
     with open(path, "r", encoding="utf-8") as handle:
         return result_from_obj(json.load(handle))
+
+
+# -- checkpointing -----------------------------------------------------------
+
+
+def server_slice_to_obj(report, records, wall_seconds=0.0):
+    """One server's completed share of a campaign, JSON-compatible."""
+    full = result_to_obj(
+        _single_server_result(report, records), include_records=True
+    )
+    return {
+        "format": _FORMAT_VERSION,
+        "server": full["servers"][report.server_id],
+        "records": full["records"],
+        "wall_seconds": wall_seconds,
+    }
+
+
+def server_slice_from_obj(server_id, obj):
+    """Rebuild ``(report, records, wall_seconds)`` for one server."""
+    if obj.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported slice format: {obj.get('format')!r}")
+    shell = result_from_obj(
+        {
+            "format": _FORMAT_VERSION,
+            "server_ids": [server_id],
+            "client_ids": [],
+            "servers": {server_id: obj["server"]},
+            "records": obj["records"],
+        }
+    )
+    return shell.servers[server_id], shell.records, obj.get("wall_seconds", 0.0)
+
+
+def _single_server_result(report, records):
+    result = CampaignResult(server_ids=(report.server_id,))
+    result.servers[report.server_id] = report
+    for record in records:
+        result.add_record(record)
+    return result
+
+
+class CampaignCheckpoint:
+    """Crash-safe key → JSON store backing long campaign runs.
+
+    Every ``save`` is atomic, so the checkpoint directory is always a
+    consistent prefix of the campaign: either a slice completed and is
+    fully on disk, or it is absent.  ``guard`` pins the checkpoint to
+    one campaign configuration — resuming with different parameters is
+    an error, not a silently wrong merge.
+    """
+
+    def __init__(self, directory):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.directory, f"{key}.json")
+
+    def has(self, key):
+        return os.path.exists(self._path(key))
+
+    def save(self, key, obj):
+        write_json_atomic(obj, self._path(key))
+
+    def load(self, key):
+        with open(self._path(key), "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def guard(self, key, fingerprint):
+        """Pin the checkpoint to ``fingerprint``; reject a mismatch."""
+        if self.has(key):
+            stored = self.load(key)
+            if stored != fingerprint:
+                raise CheckpointMismatch(
+                    f"checkpoint at {self.directory!r} belongs to a "
+                    f"different campaign: {stored!r} != {fingerprint!r}"
+                )
+        else:
+            self.save(key, fingerprint)
+
+    def keys(self):
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+    def clear(self):
+        """Remove all checkpoint entries (after a successful finish)."""
+        for key in self.keys():
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass

@@ -1,0 +1,46 @@
+"""Fault injection and resilience campaigns (the chaos extension).
+
+The paper measures interoperability on the happy path and defers the
+Communication/Execution steps; real deployments fail in exactly those
+steps.  This package makes the in-memory stack misbehave on purpose —
+deterministically, from a seed — and measures which client frameworks
+degrade gracefully:
+
+* :mod:`repro.faults.plan` — the fault taxonomy and the seeded,
+  reproducible per-request fault schedule;
+* :mod:`repro.faults.transport` — a chaos wrapper over any transport
+  that injects the scheduled faults;
+* :mod:`repro.faults.policies` — per-client resilience policies (which
+  2013-era stacks retried, which just died);
+* :mod:`repro.faults.campaign` — the fault-rate sweep producing
+  per-(server, client, fault kind) survival/recovery matrices, with
+  crash-safe per-server checkpointing.
+"""
+
+from repro.faults.campaign import (
+    ResilienceCampaign,
+    ResilienceCampaignConfig,
+    ResilienceCampaignResult,
+    ResilienceCellStats,
+    resilience_result_from_obj,
+    resilience_result_to_obj,
+)
+from repro.faults.plan import DEFAULT_FAULT_KINDS, FaultEvent, FaultKind, FaultPlan
+from repro.faults.policies import CLIENT_POLICIES, policy_for
+from repro.faults.transport import FaultingTransport
+
+__all__ = [
+    "CLIENT_POLICIES",
+    "DEFAULT_FAULT_KINDS",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultingTransport",
+    "ResilienceCampaign",
+    "ResilienceCampaignConfig",
+    "ResilienceCampaignResult",
+    "ResilienceCellStats",
+    "policy_for",
+    "resilience_result_from_obj",
+    "resilience_result_to_obj",
+]

@@ -1,0 +1,352 @@
+"""The fault-rate sweep: survival and recovery under injected chaos.
+
+For every (server, fault kind, fault rate, client) combination the
+campaign drives a sample of deployed services through the full five-step
+lifecycle over a :class:`FaultingTransport`, with each client wrapped in
+its era-accurate :class:`ResilientTransport` policy.  The output is a
+survival/recovery matrix: how many tests completed cleanly, how many
+completed only after re-sends (``DEGRADED``), and how many died — per
+fault kind, so robustness differences between stacks are attributable.
+
+Everything is seeded and deterministic, and long sweeps checkpoint after
+every server so an interrupted run resumes to the identical result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.appservers import container_for
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.extended import LifecycleCampaign
+from repro.core.outcomes import StepStatus
+from repro.faults.plan import DEFAULT_FAULT_KINDS, FaultKind, FaultPlan, derive_seed
+from repro.faults.policies import policy_for
+from repro.faults.transport import FaultingTransport
+from repro.frameworks.registry import all_client_frameworks
+from repro.runtime import InMemoryHttpTransport, ResilientTransport, run_full_lifecycle
+
+_RESULT_FORMAT = 1
+
+#: Default rate sweep: a light drizzle and a heavy storm.
+DEFAULT_RATES = (0.15, 0.35)
+
+
+@dataclass
+class ResilienceCampaignConfig:
+    """Parameters of one resilience sweep."""
+
+    base: CampaignConfig = field(default_factory=CampaignConfig)
+    seed: int = 20140622
+    fault_kinds: tuple = DEFAULT_FAULT_KINDS
+    rates: tuple = DEFAULT_RATES
+    #: Deployed services per server driven through each fault config.
+    sample_per_server: int = 20
+    slow_latency_ms: float = 30_000.0
+    base_latency_ms: float = 5.0
+
+    def fingerprint(self):
+        """Stable identity used to guard checkpoint compatibility."""
+        return {
+            "seed": self.seed,
+            "servers": list(self.base.server_ids),
+            "clients": list(self.base.client_ids),
+            "kinds": [FaultKind(kind).value for kind in self.fault_kinds],
+            "rates": [repr(float(rate)) for rate in self.rates],
+            "sample": self.sample_per_server,
+            "slow_latency_ms": self.slow_latency_ms,
+            "base_latency_ms": self.base_latency_ms,
+        }
+
+
+@dataclass
+class ResilienceCellStats:
+    """One matrix cell: a (server, client, fault kind, rate) combination."""
+
+    tests: int = 0
+    generation_errors: int = 0
+    compilation_errors: int = 0
+    communication_errors: int = 0
+    execution_errors: int = 0
+    #: Completed all five steps (cleanly or after re-sends).
+    completed: int = 0
+    #: Subset of ``completed`` whose communication step was DEGRADED.
+    recovered: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+
+    def add(self, outcome):
+        self.tests += 1
+        if outcome.generation is StepStatus.ERROR:
+            self.generation_errors += 1
+        elif outcome.compilation is StepStatus.ERROR:
+            self.compilation_errors += 1
+        elif outcome.communication is StepStatus.ERROR:
+            self.communication_errors += 1
+        elif outcome.execution is StepStatus.ERROR:
+            self.execution_errors += 1
+        else:
+            self.completed += 1
+            if outcome.communication is StepStatus.DEGRADED:
+                self.recovered += 1
+
+    @property
+    def survival_rate(self):
+        """Fraction of tests that completed the whole lifecycle."""
+        return self.completed / self.tests if self.tests else 0.0
+
+    @property
+    def recovery_rate(self):
+        """Fraction of completions owed to the retry policy."""
+        return self.recovered / self.completed if self.completed else 0.0
+
+    def as_row(self):
+        return (
+            self.tests,
+            self.faults_injected,
+            self.retries,
+            self.completed,
+            self.recovered,
+            self.communication_errors,
+            f"{self.survival_rate:.2f}",
+        )
+
+    def to_obj(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_obj(cls, obj):
+        return cls(**obj)
+
+
+def _cell_key(server_id, client_id, kind, rate):
+    return (server_id, client_id, FaultKind(kind).value, repr(float(rate)))
+
+
+@dataclass
+class ResilienceCampaignResult:
+    """Aggregate result of one resilience sweep."""
+
+    server_ids: tuple = ()
+    client_ids: tuple = ()
+    fault_kinds: tuple = ()  # FaultKind values (strings)
+    rates: tuple = ()  # repr'd floats, in sweep order
+    seed: int = 0
+    cells: dict = field(default_factory=dict)
+    services_per_server: dict = field(default_factory=dict)
+
+    def cell(self, server_id, client_id, kind, rate):
+        return self.cells[_cell_key(server_id, client_id, kind, rate)]
+
+    def ensure_cell(self, server_id, client_id, kind, rate):
+        key = _cell_key(server_id, client_id, kind, rate)
+        if key not in self.cells:
+            self.cells[key] = ResilienceCellStats()
+        return self.cells[key]
+
+    @property
+    def tests_executed(self):
+        return sum(cell.tests for cell in self.cells.values())
+
+    def by_fault_kind(self, kind):
+        """All cells of one fault kind: (server, client, rate) → stats."""
+        kind = FaultKind(kind).value
+        return {
+            (server, client, rate): cell
+            for (server, client, cell_kind, rate), cell in self.cells.items()
+            if cell_kind == kind
+        }
+
+    def client_survival(self, kind, rate):
+        """Per-client survival rate across servers for one fault config."""
+        kind = FaultKind(kind).value
+        rate = repr(float(rate))
+        out = {}
+        for client_id in self.client_ids:
+            tests = completed = 0
+            for server_id in self.server_ids:
+                cell = self.cells.get(
+                    (server_id, client_id, kind, rate)
+                )
+                if cell is None:
+                    continue
+                tests += cell.tests
+                completed += cell.completed
+            out[client_id] = completed / tests if tests else 0.0
+        return out
+
+    def totals(self):
+        keys = (
+            "tests",
+            "generation_errors",
+            "compilation_errors",
+            "communication_errors",
+            "execution_errors",
+            "completed",
+            "recovered",
+            "faults_injected",
+            "retries",
+            "breaker_trips",
+        )
+        totals = dict.fromkeys(keys, 0)
+        for cell in self.cells.values():
+            for key in keys:
+                totals[key] += getattr(cell, key)
+        return totals
+
+
+def resilience_result_to_obj(result):
+    """JSON-compatible dict for a :class:`ResilienceCampaignResult`."""
+    return {
+        "format": _RESULT_FORMAT,
+        "seed": result.seed,
+        "server_ids": list(result.server_ids),
+        "client_ids": list(result.client_ids),
+        "fault_kinds": list(result.fault_kinds),
+        "rates": list(result.rates),
+        "services_per_server": dict(result.services_per_server),
+        "cells": {
+            "|".join(key): cell.to_obj() for key, cell in result.cells.items()
+        },
+    }
+
+
+def resilience_result_from_obj(obj):
+    """Rebuild a result from :func:`resilience_result_to_obj` output."""
+    if obj.get("format") != _RESULT_FORMAT:
+        raise ValueError(f"unsupported resilience format: {obj.get('format')!r}")
+    result = ResilienceCampaignResult(
+        server_ids=tuple(obj["server_ids"]),
+        client_ids=tuple(obj["client_ids"]),
+        fault_kinds=tuple(obj["fault_kinds"]),
+        rates=tuple(obj["rates"]),
+        seed=obj["seed"],
+        services_per_server=dict(obj["services_per_server"]),
+    )
+    for key, cell in obj["cells"].items():
+        result.cells[tuple(key.split("|"))] = ResilienceCellStats.from_obj(cell)
+    return result
+
+
+class ResilienceCampaign(LifecycleCampaign):
+    """Sweeps fault kinds and rates over the five-step lifecycle.
+
+    Per server the corpus is deployed once and a deterministic sample is
+    selected; per (fault kind, rate, client) one policy-wrapped transport
+    carries that client's exchanges so its circuit breaker accumulates
+    state across services, while each service gets a label-derived
+    :class:`FaultPlan` so the schedule is independent of execution order.
+    """
+
+    def __init__(self, config=None):
+        self.rconfig = config or ResilienceCampaignConfig()
+        super().__init__(
+            self.rconfig.base,
+            sample_per_server=self.rconfig.sample_per_server,
+        )
+
+    def run(self, progress=None, checkpoint=None):
+        rconfig = self.rconfig
+        base = rconfig.base
+        if checkpoint is not None:
+            checkpoint.guard("manifest", rconfig.fingerprint())
+        clients = {
+            client_id: client
+            for client_id, client in all_client_frameworks().items()
+            if client_id in base.client_ids
+        }
+        campaign = Campaign(base)
+        result = ResilienceCampaignResult(
+            server_ids=tuple(base.server_ids),
+            client_ids=tuple(base.client_ids),
+            fault_kinds=tuple(FaultKind(kind).value for kind in rconfig.fault_kinds),
+            rates=tuple(repr(float(rate)) for rate in rconfig.rates),
+            seed=rconfig.seed,
+        )
+
+        for server_id in base.server_ids:
+            slice_key = f"resilience-{server_id}"
+            if checkpoint is not None and checkpoint.has(slice_key):
+                data = checkpoint.load(slice_key)
+                result.services_per_server[server_id] = data["services"]
+                for key, cell in data["cells"].items():
+                    result.cells[tuple(key.split("|"))] = (
+                        ResilienceCellStats.from_obj(cell)
+                    )
+                if progress:
+                    progress(f"[{server_id}] restored from checkpoint")
+                continue
+
+            container = container_for(server_id)
+            container.deploy_corpus(campaign.corpus_for(server_id))
+            selected = self._select(container.deployed)
+            result.services_per_server[server_id] = len(selected)
+            if progress:
+                progress(
+                    f"[{server_id}] fault sweep over {len(selected)} services, "
+                    f"{len(rconfig.fault_kinds)} kinds x {len(rconfig.rates)} rates"
+                )
+
+            server_cells = {}
+            for kind in rconfig.fault_kinds:
+                kind = FaultKind(kind)
+                for rate in rconfig.rates:
+                    for client_id, client in clients.items():
+                        cell = result.ensure_cell(
+                            server_id, client_id, kind, rate
+                        )
+                        server_cells[
+                            _cell_key(server_id, client_id, kind, rate)
+                        ] = cell
+                        self._run_cell(
+                            cell, server_id, client_id, client,
+                            kind, rate, selected,
+                        )
+                    if progress:
+                        progress(
+                            f"[{server_id}] {kind.value} @ {rate:g} done"
+                        )
+
+            if checkpoint is not None:
+                checkpoint.save(
+                    slice_key,
+                    {
+                        "services": len(selected),
+                        "cells": {
+                            "|".join(key): cell.to_obj()
+                            for key, cell in server_cells.items()
+                        },
+                    },
+                )
+        return result
+
+    def _run_cell(self, cell, server_id, client_id, client, kind, rate,
+                  selected):
+        rconfig = self.rconfig
+        resilient = ResilientTransport(
+            inner=None,
+            policy=policy_for(client_id),
+            seed=derive_seed(
+                rconfig.seed, server_id, client_id, kind.value, repr(float(rate))
+            ),
+        )
+        for record in selected:
+            plan = FaultPlan.single(
+                derive_seed(
+                    rconfig.seed, server_id, client_id, kind.value,
+                    repr(float(rate)), record.service.name,
+                ),
+                kind, rate,
+                slow_latency_ms=rconfig.slow_latency_ms,
+                base_latency_ms=rconfig.base_latency_ms,
+            )
+            faulting = FaultingTransport(InMemoryHttpTransport(), plan)
+            resilient.inner = faulting
+            outcome = run_full_lifecycle(
+                record, client, client_id=client_id, transport=resilient
+            )
+            cell.add(outcome)
+            cell.faults_injected += faulting.total_faults_injected
+        cell.retries += resilient.retries_performed
+        cell.breaker_trips += resilient.breaker.trips

@@ -1,0 +1,107 @@
+"""The fault taxonomy and the deterministic per-request fault schedule.
+
+A :class:`FaultPlan` is a reproducible stream of injection decisions:
+seeded once, it answers "does request number *n* fail, and how?" the
+same way on every run.  Sub-plans are derived by hashing stable labels
+(server id, service name, client id, …) into the seed, so a campaign
+that resumes from a checkpoint sees exactly the faults the uninterrupted
+run would have seen — scheduling is independent of any global request
+counter.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import random
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """The injectable failure modes, in wire-level order of appearance."""
+
+    #: TCP connect fails; the request never leaves the client.
+    CONNECTION_REFUSED = "connection-refused"
+    #: The server answers HTTP 500 with a non-SOAP error page.
+    HTTP_500 = "http-500"
+    #: The server answers HTTP 503 (overloaded / restarting).
+    HTTP_503 = "http-503"
+    #: The response arrives, but far beyond any sane deadline.
+    LATENCY = "latency"
+    #: The connection drops mid-response: a truncated body.
+    TRUNCATED_BODY = "truncated-body"
+    #: The body arrives whole but is not well-formed SOAP.
+    MALFORMED_ENVELOPE = "malformed-envelope"
+
+
+#: Sweep order used by campaigns and reports.
+DEFAULT_FAULT_KINDS = tuple(FaultKind)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injection."""
+
+    kind: FaultKind
+    #: Simulated response latency for LATENCY faults, ms.
+    latency_ms: float = 0.0
+
+
+def derive_seed(seed, *labels):
+    """Mix ``labels`` into ``seed`` reproducibly (no salted ``hash()``)."""
+    digest = hashlib.sha256(
+        ("\x1f".join([str(seed), *map(str, labels)])).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FaultPlan:
+    """A seeded schedule of faults at a given rate.
+
+    ``rates`` maps :class:`FaultKind` to an injection probability; the
+    per-request draw is a single uniform sample walked through the
+    cumulative rates in taxonomy order, so the schedule depends only on
+    the seed, the rates and the request index.
+    """
+
+    def __init__(self, seed, rates, slow_latency_ms=30_000.0,
+                 base_latency_ms=5.0):
+        self.seed = seed
+        self.rates = {FaultKind(kind): float(rate) for kind, rate in rates.items()}
+        total = sum(self.rates.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault rates sum to {total}, above 1.0")
+        self.slow_latency_ms = slow_latency_ms
+        self.base_latency_ms = base_latency_ms
+        self._rng = random.Random(seed)
+        self.requests_seen = 0
+        self.faults_scheduled = 0
+
+    @classmethod
+    def single(cls, seed, kind, rate, **kwargs):
+        """A plan injecting only ``kind`` at ``rate``."""
+        return cls(seed, {FaultKind(kind): rate}, **kwargs)
+
+    def derive(self, *labels):
+        """A fresh plan with the same rates and a label-derived seed."""
+        return FaultPlan(
+            derive_seed(self.seed, *labels),
+            dict(self.rates),
+            slow_latency_ms=self.slow_latency_ms,
+            base_latency_ms=self.base_latency_ms,
+        )
+
+    def next_event(self):
+        """The injection decision for the next request (None = clean)."""
+        self.requests_seen += 1
+        draw = self._rng.random()
+        cumulative = 0.0
+        for kind in FaultKind:
+            cumulative += self.rates.get(kind, 0.0)
+            if draw < cumulative:
+                self.faults_scheduled += 1
+                latency = (
+                    self.slow_latency_ms if kind is FaultKind.LATENCY else 0.0
+                )
+                return FaultEvent(kind=kind, latency_ms=latency)
+        return None

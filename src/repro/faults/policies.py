@@ -1,0 +1,53 @@
+"""Per-client resilience policies: how each studied stack degrades.
+
+The 2013-era tools split cleanly into three behaviours under transport
+trouble: the mature Java stacks (Metro, CXF, JBossWS) exposed a
+configurable retransmission layer and shipped with one automatic
+re-send; the .NET proxies honoured a timeout and retried once on 503;
+and the rest — Axis, gSOAP, the dynamic-language stacks — surfaced the
+first failure straight to the application.  The table below encodes
+that split; the exact numbers are modelling choices, the *ordering* of
+robustness is the claim under test.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.resilience import NAIVE_POLICY, ResiliencePolicy
+
+#: A stack with a retransmission layer: two re-sends, breaker after 4.
+_RETRYING = ResiliencePolicy(
+    max_retries=2,
+    timeout_ms=10_000.0,
+    backoff_base_ms=200.0,
+    breaker_threshold=4,
+    breaker_cooldown=8,
+)
+
+#: A stack with a timeout and a single polite re-send, no breaker.
+_CAUTIOUS = ResiliencePolicy(
+    max_retries=1,
+    timeout_ms=10_000.0,
+    backoff_base_ms=500.0,
+)
+
+#: A stack that dies on first failure but at least enforces a deadline.
+_DEADLINE_ONLY = ResiliencePolicy(max_retries=0, timeout_ms=10_000.0)
+
+CLIENT_POLICIES = {
+    "metro": _RETRYING,
+    "cxf": _RETRYING,
+    "jbossws": _RETRYING,
+    "axis2": _CAUTIOUS,
+    "dotnet-cs": _CAUTIOUS,
+    "dotnet-vb": _CAUTIOUS,
+    "dotnet-js": _CAUTIOUS,
+    "axis1": _DEADLINE_ONLY,
+    "gsoap": _DEADLINE_ONLY,
+    "zend": NAIVE_POLICY,
+    "suds": NAIVE_POLICY,
+}
+
+
+def policy_for(client_id):
+    """The resilience policy of ``client_id`` (naive when unknown)."""
+    return CLIENT_POLICIES.get(client_id, NAIVE_POLICY)

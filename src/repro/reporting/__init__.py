@@ -10,6 +10,12 @@ from repro.reporting.export import result_to_json, table3_to_csv
 from repro.reporting.figures import render_fig4
 from repro.reporting.html import render_html_report
 from repro.reporting.latex import render_fig4_latex, render_table3_latex
+from repro.reporting.resilience import (
+    render_client_robustness,
+    render_resilience_matrix,
+    resilience_matrix_rows,
+    resilience_to_json,
+)
 from repro.reporting.tables import (
     render_table,
     render_table1,
@@ -20,11 +26,15 @@ from repro.reporting.tables import (
 __all__ = [
     "comparison_rows",
     "fig4_comparison",
+    "render_client_robustness",
     "render_experiments_markdown",
     "render_fig4",
     "render_fig4_latex",
     "render_html_report",
+    "render_resilience_matrix",
     "render_table",
+    "resilience_matrix_rows",
+    "resilience_to_json",
     "render_table3_latex",
     "render_table1",
     "render_table2",

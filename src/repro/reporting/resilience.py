@@ -1,0 +1,82 @@
+"""Rendering of resilience-sweep results (survival/recovery matrices)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.reporting.tables import render_table
+
+
+def resilience_matrix_rows(result):
+    """Flat rows in deterministic sweep order, one per matrix cell."""
+    rows = []
+    for server_id in result.server_ids:
+        for kind in result.fault_kinds:
+            for rate in result.rates:
+                for client_id in result.client_ids:
+                    cell = result.cells.get(
+                        (server_id, client_id, kind, rate)
+                    )
+                    if cell is None:
+                        continue
+                    rows.append(
+                        (server_id, client_id, kind, rate) + cell.as_row()
+                    )
+    return rows
+
+
+def render_resilience_matrix(result, only_failing=False):
+    """The per-(server, client, fault kind, rate) survival table."""
+    rows = resilience_matrix_rows(result)
+    if only_failing:
+        # Keep rows where something went wrong or recovery kicked in.
+        rows = [row for row in rows if row[-1] != "1.00" or row[8] > 0]
+    return render_table(
+        (
+            "Server", "Client", "Fault", "Rate",
+            "Tests", "Faults", "Retries", "Done", "Recov", "CommErr", "Surv",
+        ),
+        rows,
+        title="Resilience sweep: survival and recovery per fault kind",
+    )
+
+
+def render_client_robustness(result):
+    """Per-client survival, averaged over servers, worst fault config."""
+    rows = []
+    for client_id in result.client_ids:
+        worst = 1.0
+        total_tests = total_completed = total_recovered = 0
+        for kind in result.fault_kinds:
+            for rate in result.rates:
+                survival = result.client_survival(kind, rate)[client_id]
+                worst = min(worst, survival)
+        for (server, client, kind, rate), cell in result.cells.items():
+            if client == client_id:
+                total_tests += cell.tests
+                total_completed += cell.completed
+                total_recovered += cell.recovered
+        overall = total_completed / total_tests if total_tests else 0.0
+        rows.append(
+            (
+                client_id,
+                total_tests,
+                total_completed,
+                total_recovered,
+                f"{overall:.2f}",
+                f"{worst:.2f}",
+            )
+        )
+    rows.sort(key=lambda row: (-float(row[4]), row[0]))
+    return render_table(
+        ("Client", "Tests", "Done", "Recov", "Survival", "Worst"),
+        rows,
+        title="Client robustness ranking (most survivable first)",
+    )
+
+
+def resilience_to_json(result, indent=None):
+    """Serialize a resilience result for downstream analysis."""
+    from repro.faults.campaign import resilience_result_to_obj
+
+    return json.dumps(resilience_result_to_obj(result), indent=indent)

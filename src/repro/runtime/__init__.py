@@ -11,17 +11,40 @@ generated artifacts.
 from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
 from repro.runtime.lifecycle import LifecycleOutcome, run_full_lifecycle
 from repro.runtime.recorder import Exchange, TransportRecorder, check_exchange
+from repro.runtime.resilience import (
+    NAIVE_POLICY,
+    AttemptLog,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilientTransport,
+)
 from repro.runtime.server import EchoServiceEndpoint
-from repro.runtime.transport import HttpResponse, InMemoryHttpTransport
+from repro.runtime.transport import (
+    CircuitOpen,
+    ConnectionRefused,
+    DeadlineExceeded,
+    HttpResponse,
+    InMemoryHttpTransport,
+    TransportError,
+)
 
 __all__ = [
+    "AttemptLog",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ClientInvocationError",
+    "ConnectionRefused",
+    "DeadlineExceeded",
     "EchoServiceEndpoint",
     "Exchange",
     "GeneratedClientProxy",
     "HttpResponse",
     "InMemoryHttpTransport",
     "LifecycleOutcome",
+    "NAIVE_POLICY",
+    "ResiliencePolicy",
+    "ResilientTransport",
+    "TransportError",
     "TransportRecorder",
     "check_exchange",
     "run_full_lifecycle",

@@ -64,7 +64,14 @@ class GeneratedClientProxy:
                 f"transport error {response.status}: {response.body[:200]}"
             )
 
-        envelope = parse_envelope(response.body)
+        try:
+            envelope = parse_envelope(response.body)
+        except Exception as exc:
+            # Truncated or corrupted wire data: the stub's XML parser
+            # blows up, which the application sees as a client error.
+            raise ClientInvocationError(
+                f"malformed response envelope: {exc}"
+            ) from exc
         if envelope.is_fault:
             raise ClientInvocationError(f"SOAP fault: {envelope.fault.string}")
         if envelope.body is None:

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.outcomes import StepStatus
 from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
 from repro.runtime.server import EchoServiceEndpoint
-from repro.runtime.transport import InMemoryHttpTransport
+from repro.runtime.transport import InMemoryHttpTransport, TransportError
 from repro.wsdl import read_wsdl_text
 
 
@@ -88,7 +88,7 @@ def run_full_lifecycle(deployment_record, client, client_id="", transport=None, 
         payload = _sample_values(deployment_record.service.parameter_type)
     try:
         result = proxy.invoke(operation, payload)
-    except ClientInvocationError as exc:
+    except (ClientInvocationError, TransportError) as exc:
         return LifecycleOutcome(
             service_name, client_id,
             generation=generation_status,
@@ -98,13 +98,20 @@ def run_full_lifecycle(deployment_record, client, client_id="", transport=None, 
             detail=str(exc),
         )
 
+    # A resilient transport records how the exchange went; recovery
+    # after one or more re-sends is DEGRADED, not clean OK.
+    attempt_log = getattr(transport, "last", None)
+    communication_status = StepStatus.OK
+    if attempt_log is not None and getattr(attempt_log, "recovered", False):
+        communication_status = StepStatus.DEGRADED
+
     execution_status = StepStatus.OK if result == payload else StepStatus.ERROR
     detail = "" if execution_status is StepStatus.OK else "echo mismatch"
     return LifecycleOutcome(
         service_name, client_id,
         generation=generation_status,
         compilation=compilation_status,
-        communication=StepStatus.OK,
+        communication=communication_status,
         execution=execution_status,
         detail=detail,
     )

@@ -1,0 +1,175 @@
+"""Client-side resilience: retry budgets, backoff, timeouts, breakers.
+
+The paper's lifecycle assumes every exchange succeeds; this module models
+what the 2013-era client stacks actually did when one didn't.  A
+:class:`ResiliencePolicy` declares how a client framework degrades —
+how often it re-sends, how long it waits, when it gives up entirely —
+and :class:`ResilientTransport` enforces the policy around any inner
+transport.  Everything is deterministic: backoff jitter comes from a
+seeded PRNG and latency is simulated, never slept.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.runtime.transport import (
+    CircuitOpen,
+    DeadlineExceeded,
+    TransportError,
+)
+
+#: HTTP statuses a retrying client treats as transient server trouble.
+RETRYABLE_STATUSES = frozenset({500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How one client framework behaves when an exchange fails.
+
+    ``max_retries`` is the *re-send* budget: 0 means one attempt total,
+    which is how most of the studied tools shipped.  Backoff is
+    exponential with deterministic jitter; the circuit breaker opens
+    after ``breaker_threshold`` consecutive failures and half-opens
+    after ``breaker_cooldown`` rejected requests (0 disables it).
+    """
+
+    max_retries: int = 0
+    timeout_ms: float = 5_000.0
+    backoff_base_ms: float = 100.0
+    backoff_multiplier: float = 2.0
+    jitter_ms: float = 50.0
+    breaker_threshold: int = 0
+    breaker_cooldown: int = 5
+
+    @property
+    def retries_enabled(self):
+        return self.max_retries > 0
+
+    @property
+    def breaker_enabled(self):
+        return self.breaker_threshold > 0
+
+
+#: A client that never retries and never breaks the circuit — the
+#: observed default for the era's generated stubs.
+NAIVE_POLICY = ResiliencePolicy()
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker with a request-counted cooldown."""
+
+    threshold: int
+    cooldown: int
+    failures: int = 0
+    rejected_since_open: int = 0
+    opened: bool = False
+    trips: int = 0
+
+    def allow(self):
+        """May the next request go out?  Counts cooldown when open."""
+        if not self.opened:
+            return True
+        self.rejected_since_open += 1
+        if self.rejected_since_open > self.cooldown:
+            # Half-open: let one probe through; record_* decides fate.
+            return True
+        return False
+
+    def record_success(self):
+        self.failures = 0
+        self.opened = False
+        self.rejected_since_open = 0
+
+    def record_failure(self):
+        self.failures += 1
+        if self.threshold and self.failures >= self.threshold:
+            if not self.opened:
+                self.trips += 1
+            self.opened = True
+            self.rejected_since_open = 0
+
+
+@dataclass
+class AttemptLog:
+    """What the last :meth:`ResilientTransport.post` call went through."""
+
+    attempts: int = 1
+    backoff_ms: float = 0.0
+    recovered: bool = False
+
+
+class ResilientTransport:
+    """Wraps a transport with a client framework's resilience policy.
+
+    Exposes the same ``post`` contract.  On success after one or more
+    re-sends the response is returned and :attr:`last` records the
+    recovery; on exhaustion the final failure is surfaced unchanged
+    (transport errors raise, HTTP error responses return).
+    """
+
+    def __init__(self, inner, policy=NAIVE_POLICY, seed=0):
+        self.inner = inner
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self.breaker = CircuitBreaker(
+            threshold=policy.breaker_threshold,
+            cooldown=policy.breaker_cooldown,
+        )
+        self.last = AttemptLog()
+        self.requests_sent = 0
+        self.retries_performed = 0
+        self.breaker_rejections = 0
+
+    # The registration side is pass-through: endpoints do not care that
+    # the client wrapped its stub in a policy.
+    def register(self, url, handler):
+        return self.inner.register(url, handler)
+
+    def unregister(self, url):
+        self.inner.unregister(url)
+
+    def post(self, url, body, headers=None):
+        policy = self.policy
+        log = AttemptLog()
+        self.last = log
+        delay = policy.backoff_base_ms
+        failure_exc = None
+        failure_response = None
+        while True:
+            if policy.breaker_enabled and not self.breaker.allow():
+                self.breaker_rejections += 1
+                raise CircuitOpen(
+                    f"circuit open after {self.breaker.failures} consecutive "
+                    "failures"
+                )
+            self.requests_sent += 1
+            failure_exc = None
+            failure_response = None
+            try:
+                response = self.inner.post(url, body, headers)
+            except TransportError as exc:
+                failure_exc = exc
+            else:
+                if response.elapsed_ms > policy.timeout_ms:
+                    failure_exc = DeadlineExceeded(
+                        f"response took {response.elapsed_ms:.0f}ms "
+                        f"(deadline {policy.timeout_ms:.0f}ms)"
+                    )
+                elif response.status in RETRYABLE_STATUSES:
+                    failure_response = response
+                else:
+                    self.breaker.record_success()
+                    log.recovered = log.attempts > 1
+                    return response
+            self.breaker.record_failure()
+            if log.attempts > policy.max_retries:
+                if failure_exc is not None:
+                    raise failure_exc
+                return failure_response
+            log.attempts += 1
+            self.retries_performed += 1
+            log.backoff_ms += delay + self._rng.uniform(0, policy.jitter_ms)
+            delay *= policy.backoff_multiplier

@@ -5,6 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class TransportError(Exception):
+    """A failure below HTTP: the request never produced a response."""
+
+
+class ConnectionRefused(TransportError):
+    """Nothing accepted the TCP connection."""
+
+
+class DeadlineExceeded(TransportError):
+    """The response arrived later than the client was willing to wait."""
+
+
+class CircuitOpen(TransportError):
+    """A client-side circuit breaker refused to send the request."""
+
+
 @dataclass
 class HttpResponse:
     """A minimal HTTP response."""
@@ -12,6 +28,9 @@ class HttpResponse:
     status: int
     body: str = ""
     headers: dict = field(default_factory=dict)
+    #: Simulated round-trip latency.  The in-memory stack never sleeps;
+    #: fault injectors set this and resilience policies read it.
+    elapsed_ms: float = 0.0
 
     @property
     def ok(self):
@@ -37,12 +56,22 @@ class InMemoryHttpTransport:
         self._endpoints.pop(url, None)
 
     def post(self, url, body, headers=None):
-        """POST ``body`` to ``url``; 404 when nothing is listening."""
+        """POST ``body`` to ``url``; 404 when nothing is listening.
+
+        A handler that raises becomes an HTTP 500 — one buggy endpoint
+        must not abort a whole campaign, exactly like a real app server
+        turning an unhandled servlet exception into an error page.
+        """
         self.requests_sent += 1
         handler = self._endpoints.get(url)
         if handler is None:
             return HttpResponse(status=404, body=f"no endpoint at {url}")
-        outcome = handler(body, headers or {})
+        try:
+            outcome = handler(body, headers or {})
+        except Exception as exc:
+            return HttpResponse(
+                status=500, body=f"internal server error: {exc}"
+            )
         if isinstance(outcome, HttpResponse):
             return outcome
         return HttpResponse(status=200, body=str(outcome))

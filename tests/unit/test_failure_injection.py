@@ -157,15 +157,19 @@ class TestContainerEdgeCases:
         assert first.endpoint_url == second.endpoint_url
         assert len(server.deployments) == 2
 
-    def test_transport_handler_exception_propagates(self):
+    def test_transport_handler_exception_contained_as_500(self):
+        """One buggy endpoint must not abort a whole campaign: the
+        transport turns an unhandled handler exception into HTTP 500,
+        like an app server rendering an error page."""
         transport = InMemoryHttpTransport()
 
         def broken(body, headers):
             raise RuntimeError("handler blew up")
 
         transport.register("http://x", broken)
-        with pytest.raises(RuntimeError):
-            transport.post("http://x", "ping")
+        response = transport.post("http://x", "ping")
+        assert response.status == 500
+        assert "handler blew up" in response.body
 
     def test_compiler_on_empty_bundle(self):
         from repro.artifacts import ArtifactBundle
