@@ -9,6 +9,7 @@ Examples::
     wsinterop tables
     wsinterop corpus
     wsinterop run --quick
+    wsinterop fuzz --quick --seed 7
     wsinterop report --json results.json
     wsinterop wsdl jbossws java.util.concurrent.Future
     wsinterop check metro java.text.SimpleDateFormat
@@ -334,6 +335,85 @@ def cmd_resilience(args):
     return 0
 
 
+def cmd_fuzz(args):
+    from repro.faults import (
+        FuzzCampaign,
+        FuzzCampaignConfig,
+        MutationKind,
+    )
+    from repro.reporting import (
+        fuzz_to_json,
+        render_fuzz_matrix,
+        render_quarantine,
+        render_triage_summary,
+    )
+
+    try:
+        if args.kinds:
+            kinds = tuple(
+                MutationKind(kind.strip()) for kind in args.kinds.split(",")
+            )
+        else:
+            kinds = tuple(MutationKind)
+    except ValueError:
+        valid = ", ".join(kind.value for kind in MutationKind)
+        print(f"error: unknown mutation kind in {args.kinds!r}; "
+              f"valid kinds: {valid}", file=sys.stderr)
+        return 2
+    try:
+        intensities = tuple(
+            float(value) for value in args.intensities.split(",")
+        )
+    except ValueError:
+        print(f"error: --intensities expects comma-separated numbers, "
+              f"got {args.intensities!r}", file=sys.stderr)
+        return 2
+    if any(not 0.0 <= value <= 1.0 for value in intensities):
+        print(f"error: intensities must be within [0, 1], "
+              f"got {args.intensities!r}", file=sys.stderr)
+        return 2
+    config = FuzzCampaignConfig(
+        base=_config_from(args),
+        seed=args.seed,
+        mutation_kinds=kinds,
+        intensities=intensities,
+        mutants_per_config=args.mutants,
+        sample_per_server=args.sample,
+        deadline_seconds=args.deadline,
+        fail_fast=args.fail_fast,
+    )
+    campaign = FuzzCampaign(config)
+    started = time.time()
+    result = campaign.run(
+        progress=_progress if args.verbose else None,
+        checkpoint=_checkpoint_from(args),
+    )
+    print(f"fuzz sweep finished in {time.time() - started:.1f}s",
+          file=sys.stderr)
+    print(render_fuzz_matrix(result, only_failing=args.only_failing))
+    print()
+    print(render_triage_summary(result))
+    print()
+    print(render_quarantine(result))
+    totals = result.totals()
+    print()
+    for key, value in totals.items():
+        print(f"{key}: {value}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(fuzz_to_json(result))
+        print(f"JSON written to {args.json}", file=sys.stderr)
+    if result.aborted:
+        print("error: sweep aborted by --fail-fast on an unclassified "
+              "tool-internal error", file=sys.stderr)
+        return 3
+    if result.unclassified_total:
+        print(f"error: {result.unclassified_total} mutants escaped with "
+              "unclassified (tool-internal) errors", file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_matrix(args):
     from repro.core.matrix import render_matrix
 
@@ -473,6 +553,55 @@ def build_parser():
         help="checkpoint each completed server here; re-run to resume",
     )
     resilience_parser.set_defaults(func=cmd_resilience)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="seeded WSDL-corruption sweep over the guarded wsdl2code "
+        "pipeline (crash-triage matrices)",
+    )
+    fuzz_parser.add_argument("--quick", action="store_true",
+                             help="small corpora")
+    fuzz_parser.add_argument("--verbose", action="store_true")
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=20140622,
+        help="mutation seed (same seed = byte-identical matrices)",
+    )
+    fuzz_parser.add_argument(
+        "--sample", type=int, default=6,
+        help="deployed services per server fed to the mutator",
+    )
+    fuzz_parser.add_argument(
+        "--kinds",
+        help="comma-separated mutation kinds (default: all seven); e.g. "
+        "truncation,deep-nesting,huge-text",
+    )
+    fuzz_parser.add_argument(
+        "--intensities", default="0.3,0.8",
+        help="comma-separated corruption intensities in [0, 1] to sweep",
+    )
+    fuzz_parser.add_argument(
+        "--mutants", type=int, default=1,
+        help="mutants per (service, kind, intensity) combination",
+    )
+    fuzz_parser.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="wall-clock seconds allowed per guarded step",
+    )
+    fuzz_parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep at the first unclassified error",
+    )
+    fuzz_parser.add_argument(
+        "--only-failing", action="store_true",
+        help="print only matrix rows with non-clean triage buckets",
+    )
+    fuzz_parser.add_argument("--json", help="write the triage matrices here")
+    fuzz_parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint each completed server here; re-run to resume "
+        "(quarantined cells stay quarantined)",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     matrix_parser = sub.add_parser(
         "matrix", help="print the interoperability verdict grid"

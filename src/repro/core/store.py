@@ -235,3 +235,87 @@ class CampaignCheckpoint:
                 os.unlink(self._path(key))
             except OSError:
                 pass
+
+
+class QuarantineRegistry:
+    """Poisoned (server, service, client) triples a sweep must not re-run.
+
+    A cell whose guarded step timed out or escaped with an unclassified
+    exception is *poisoned*: re-executing it would stall or crash the
+    sweep again.  The registry records each poisoning with its triage
+    bucket and detail, persists into a :class:`CampaignCheckpoint`
+    (key ``"quarantine"``), and lets a resumed run skip known-fatal
+    cells — they are reported as QUARANTINED, not silently dropped.
+    """
+
+    KEY = "quarantine"
+    _FORMAT = 1
+
+    def __init__(self):
+        self._entries = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def poison(self, server_id, service_name, client_id, bucket, detail=""):
+        """Record a poisoned triple; the first recorded reason wins."""
+        key = (server_id, service_name, client_id)
+        if key not in self._entries:
+            self._entries[key] = {"bucket": str(bucket), "detail": detail}
+
+    def contains(self, server_id, service_name, client_id):
+        return (server_id, service_name, client_id) in self._entries
+
+    def reason(self, server_id, service_name, client_id):
+        """The recorded poisoning, or ``None`` for a healthy triple."""
+        return self._entries.get((server_id, service_name, client_id))
+
+    def entries(self):
+        """Sorted ``(server, service, client, bucket, detail)`` tuples."""
+        return [
+            (server, service, client, info["bucket"], info["detail"])
+            for (server, service, client), info in sorted(self._entries.items())
+        ]
+
+    def to_obj(self):
+        return {
+            "format": self._FORMAT,
+            "entries": [
+                {
+                    "server": server,
+                    "service": service,
+                    "client": client,
+                    "bucket": info["bucket"],
+                    "detail": info["detail"],
+                }
+                for (server, service, client), info in sorted(
+                    self._entries.items()
+                )
+            ],
+        }
+
+    @classmethod
+    def from_obj(cls, obj):
+        if obj.get("format") != cls._FORMAT:
+            raise ValueError(
+                f"unsupported quarantine format: {obj.get('format')!r}"
+            )
+        registry = cls()
+        for item in obj["entries"]:
+            registry.poison(
+                item["server"], item["service"], item["client"],
+                item["bucket"], item["detail"],
+            )
+        return registry
+
+    def save(self, checkpoint):
+        """Persist into ``checkpoint`` (a no-op when it is ``None``)."""
+        if checkpoint is not None:
+            checkpoint.save(self.KEY, self.to_obj())
+
+    @classmethod
+    def load(cls, checkpoint):
+        """Restore from ``checkpoint``; empty when absent or ``None``."""
+        if checkpoint is not None and checkpoint.has(cls.KEY):
+            return cls.from_obj(checkpoint.load(cls.KEY))
+        return cls()

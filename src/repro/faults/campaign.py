@@ -1,12 +1,22 @@
-"""The fault-rate sweep: survival and recovery under injected chaos.
+"""The fault sweeps: chaos at the transport, corruption at the source.
 
-For every (server, fault kind, fault rate, client) combination the
-campaign drives a sample of deployed services through the full five-step
-lifecycle over a :class:`FaultingTransport`, with each client wrapped in
-its era-accurate :class:`ResilientTransport` policy.  The output is a
-survival/recovery matrix: how many tests completed cleanly, how many
-completed only after re-sends (``DEGRADED``), and how many died — per
-fault kind, so robustness differences between stacks are attributable.
+:class:`ResilienceCampaign` drives a sample of deployed services through
+the full five-step lifecycle over a :class:`FaultingTransport`, with
+each client wrapped in its era-accurate :class:`ResilientTransport`
+policy.  The output is a survival/recovery matrix: how many tests
+completed cleanly, how many completed only after re-sends
+(``DEGRADED``), and how many died — per fault kind, so robustness
+differences between stacks are attributable.
+
+:class:`FuzzCampaign` attacks the *other* two lifecycle steps: it
+corrupts each service's serialized WSDL with the seeded mutation
+operators of :mod:`repro.faults.corpus` and drives every client's
+guarded wsdl2code + compile pipeline over the mutants, producing a
+crash-triage matrix (clean / parser-crash / resource-blowup / timeout /
+tool-internal) per (server, client, mutation kind, intensity).  Cells
+that hit a fatal bucket are quarantined via
+:class:`~repro.core.store.QuarantineRegistry` so resumed sweeps skip
+known-poison triples and report them as QUARANTINED.
 
 Everything is seeded and deterministic, and long sweeps checkpoint after
 every server so an interrupted run resumes to the identical result.
@@ -20,11 +30,16 @@ from repro.appservers import container_for
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.extended import LifecycleCampaign
 from repro.core.outcomes import StepStatus
+from repro.core.store import QuarantineRegistry
+from repro.faults.corpus import DEFAULT_MUTATION_KINDS, MutationKind, WsdlMutator
 from repro.faults.plan import DEFAULT_FAULT_KINDS, FaultKind, FaultPlan, derive_seed
 from repro.faults.policies import policy_for
 from repro.faults.transport import FaultingTransport
 from repro.frameworks.registry import all_client_frameworks
 from repro.runtime import InMemoryHttpTransport, ResilientTransport, run_full_lifecycle
+from repro.runtime.guard import GuardedStep, GuardLimits, TriageBucket
+from repro.wsdl.reader import read_wsdl
+from repro.xmlcore import parse as parse_xml
 
 _RESULT_FORMAT = 1
 
@@ -350,3 +365,418 @@ class ResilienceCampaign(LifecycleCampaign):
             cell.faults_injected += faulting.total_faults_injected
         cell.retries += resilient.retries_performed
         cell.breaker_trips += resilient.breaker.trips
+
+
+# -- WSDL corruption fuzzing -------------------------------------------------
+
+_FUZZ_FORMAT = 1
+
+#: Default intensity sweep: a scuffed document and a hostile one.
+DEFAULT_INTENSITIES = (0.3, 0.8)
+
+
+@dataclass
+class FuzzCampaignConfig:
+    """Parameters of one corruption-fuzz sweep."""
+
+    base: CampaignConfig = field(default_factory=CampaignConfig)
+    seed: int = 20140622
+    mutation_kinds: tuple = DEFAULT_MUTATION_KINDS
+    intensities: tuple = DEFAULT_INTENSITIES
+    #: Mutants generated per (service, kind, intensity) combination.
+    mutants_per_config: int = 1
+    #: Deployed services per server fed to the mutator.
+    sample_per_server: int = 6
+    #: Wall-clock deadline per guarded step.
+    deadline_seconds: float = 10.0
+    #: Abort the sweep at the first unclassified (tool-internal) error.
+    fail_fast: bool = False
+
+    def guard_limits(self):
+        return GuardLimits(deadline_seconds=self.deadline_seconds)
+
+    def fingerprint(self):
+        """Stable identity used to guard checkpoint compatibility.
+
+        Includes the mutation seed and the full fuzz configuration, so
+        a resume with a different seed or sweep shape is rejected
+        rather than silently mixed into stale slices.
+        """
+        return {
+            "campaign": "fuzz",
+            "seed": self.seed,
+            "servers": list(self.base.server_ids),
+            "clients": list(self.base.client_ids),
+            "kinds": [MutationKind(kind).value for kind in self.mutation_kinds],
+            "intensities": [repr(float(i)) for i in self.intensities],
+            "mutants_per_config": self.mutants_per_config,
+            "sample": self.sample_per_server,
+            "deadline_seconds": repr(float(self.deadline_seconds)),
+        }
+
+
+@dataclass
+class FuzzCellStats:
+    """One triage-matrix cell: (server, client, mutation kind, intensity)."""
+
+    mutants: int = 0
+    #: The whole guarded pipeline ran clean (the tool ate the mutant).
+    survived: int = 0
+    #: Tool emitted classified error diagnostics (healthy rejection).
+    rejected: int = 0
+    parser_crash: int = 0
+    resource_blowup: int = 0
+    timeout: int = 0
+    #: Unclassified exceptions — every count here is a harness bug.
+    tool_internal: int = 0
+    #: Skipped because the (server, service, client) triple is poisoned.
+    quarantined: int = 0
+
+    _BUCKET_FIELDS = {
+        TriageBucket.PARSER_CRASH: "parser_crash",
+        TriageBucket.RESOURCE_BLOWUP: "resource_blowup",
+        TriageBucket.TIMEOUT: "timeout",
+        TriageBucket.TOOL_INTERNAL: "tool_internal",
+    }
+
+    def add(self, bucket, rejected=False):
+        self.mutants += 1
+        if bucket is TriageBucket.CLEAN:
+            if rejected:
+                self.rejected += 1
+            else:
+                self.survived += 1
+        else:
+            name = self._BUCKET_FIELDS[bucket]
+            setattr(self, name, getattr(self, name) + 1)
+
+    def add_quarantined(self):
+        self.mutants += 1
+        self.quarantined += 1
+
+    @property
+    def classified(self):
+        """Mutants that landed in a classified cell (all but internal)."""
+        return self.mutants - self.tool_internal
+
+    @property
+    def totality_rate(self):
+        """Fraction of mutants the harness classified — the invariant."""
+        return self.classified / self.mutants if self.mutants else 1.0
+
+    def as_row(self):
+        return (
+            self.mutants,
+            self.survived,
+            self.rejected,
+            self.parser_crash,
+            self.resource_blowup,
+            self.timeout,
+            self.tool_internal,
+            self.quarantined,
+        )
+
+    def to_obj(self):
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_obj(cls, obj):
+        return cls(**obj)
+
+
+def _fuzz_cell_key(server_id, client_id, kind, intensity):
+    return (
+        server_id, client_id, MutationKind(kind).value, repr(float(intensity))
+    )
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Aggregate result of one corruption-fuzz sweep."""
+
+    server_ids: tuple = ()
+    client_ids: tuple = ()
+    mutation_kinds: tuple = ()  # MutationKind values (strings)
+    intensities: tuple = ()  # repr'd floats, in sweep order
+    seed: int = 0
+    cells: dict = field(default_factory=dict)
+    services_per_server: dict = field(default_factory=dict)
+    #: Sorted (server, service, client, bucket, detail) poison records.
+    quarantine: list = field(default_factory=list)
+    #: True when ``fail_fast`` stopped the sweep early.
+    aborted: bool = False
+
+    def cell(self, server_id, client_id, kind, intensity):
+        return self.cells[_fuzz_cell_key(server_id, client_id, kind, intensity)]
+
+    def ensure_cell(self, server_id, client_id, kind, intensity):
+        key = _fuzz_cell_key(server_id, client_id, kind, intensity)
+        if key not in self.cells:
+            self.cells[key] = FuzzCellStats()
+        return self.cells[key]
+
+    @property
+    def mutants_executed(self):
+        return sum(cell.mutants for cell in self.cells.values())
+
+    @property
+    def unclassified_total(self):
+        """Tool-internal hits across the matrix; must be zero."""
+        return sum(cell.tool_internal for cell in self.cells.values())
+
+    def by_kind(self, kind):
+        """All cells of one mutation kind: (server, client, intensity)."""
+        kind = MutationKind(kind).value
+        return {
+            (server, client, intensity): cell
+            for (server, client, cell_kind, intensity), cell
+            in self.cells.items()
+            if cell_kind == kind
+        }
+
+    def totals(self):
+        keys = (
+            "mutants",
+            "survived",
+            "rejected",
+            "parser_crash",
+            "resource_blowup",
+            "timeout",
+            "tool_internal",
+            "quarantined",
+        )
+        totals = dict.fromkeys(keys, 0)
+        for cell in self.cells.values():
+            for key in keys:
+                totals[key] += getattr(cell, key)
+        return totals
+
+
+def fuzz_result_to_obj(result):
+    """JSON-compatible dict for a :class:`FuzzCampaignResult`."""
+    return {
+        "format": _FUZZ_FORMAT,
+        "seed": result.seed,
+        "server_ids": list(result.server_ids),
+        "client_ids": list(result.client_ids),
+        "mutation_kinds": list(result.mutation_kinds),
+        "intensities": list(result.intensities),
+        "services_per_server": dict(result.services_per_server),
+        "aborted": result.aborted,
+        "quarantine": [list(entry) for entry in result.quarantine],
+        "cells": {
+            "|".join(key): cell.to_obj() for key, cell in result.cells.items()
+        },
+    }
+
+
+def fuzz_result_from_obj(obj):
+    """Rebuild a result from :func:`fuzz_result_to_obj` output."""
+    if obj.get("format") != _FUZZ_FORMAT:
+        raise ValueError(f"unsupported fuzz format: {obj.get('format')!r}")
+    result = FuzzCampaignResult(
+        server_ids=tuple(obj["server_ids"]),
+        client_ids=tuple(obj["client_ids"]),
+        mutation_kinds=tuple(obj["mutation_kinds"]),
+        intensities=tuple(obj["intensities"]),
+        seed=obj["seed"],
+        services_per_server=dict(obj["services_per_server"]),
+        quarantine=[tuple(entry) for entry in obj["quarantine"]],
+        aborted=obj["aborted"],
+    )
+    for key, cell in obj["cells"].items():
+        result.cells[tuple(key.split("|"))] = FuzzCellStats.from_obj(cell)
+    return result
+
+
+def _read_mutant(text, xml_limits):
+    """The wsdl2code front door: parse the (corrupted) description."""
+    return read_wsdl(parse_xml(text, limits=xml_limits))
+
+
+class FuzzCampaign(LifecycleCampaign):
+    """Sweeps corruption operators over every server/client pair.
+
+    Per server the corpus is deployed once and a deterministic sample
+    selected; each sampled service's serialized WSDL is mutated per
+    (kind, intensity, index) with a label-derived seed, and every client
+    runs its guarded read → generate → compile pipeline over the
+    mutant.  The verdicts land in a crash-triage matrix, fatal buckets
+    poison the (server, service, client) triple, and both the matrix
+    slices and the quarantine registry checkpoint after every server.
+    """
+
+    def __init__(self, config=None):
+        self.fconfig = config or FuzzCampaignConfig()
+        super().__init__(
+            self.fconfig.base,
+            sample_per_server=self.fconfig.sample_per_server,
+        )
+
+    def run(self, progress=None, checkpoint=None):
+        fconfig = self.fconfig
+        base = fconfig.base
+        if checkpoint is not None:
+            checkpoint.guard("manifest", fconfig.fingerprint())
+        quarantine = QuarantineRegistry.load(checkpoint)
+        clients = {
+            client_id: client
+            for client_id, client in all_client_frameworks().items()
+            if client_id in base.client_ids
+        }
+        campaign = Campaign(base)
+        mutator = WsdlMutator(fconfig.seed)
+        limits = fconfig.guard_limits()
+        result = FuzzCampaignResult(
+            server_ids=tuple(base.server_ids),
+            client_ids=tuple(base.client_ids),
+            mutation_kinds=tuple(
+                MutationKind(kind).value for kind in fconfig.mutation_kinds
+            ),
+            intensities=tuple(repr(float(i)) for i in fconfig.intensities),
+            seed=fconfig.seed,
+        )
+
+        for server_id in base.server_ids:
+            slice_key = f"fuzz-{server_id}"
+            if checkpoint is not None and checkpoint.has(slice_key):
+                data = checkpoint.load(slice_key)
+                result.services_per_server[server_id] = data["services"]
+                for key, cell in data["cells"].items():
+                    result.cells[tuple(key.split("|"))] = (
+                        FuzzCellStats.from_obj(cell)
+                    )
+                if progress:
+                    progress(f"[{server_id}] restored from checkpoint")
+                continue
+
+            container = container_for(server_id)
+            container.deploy_corpus(campaign.corpus_for(server_id))
+            selected = self._select(container.deployed)
+            result.services_per_server[server_id] = len(selected)
+            if progress:
+                progress(
+                    f"[{server_id}] fuzzing {len(selected)} services: "
+                    f"{len(fconfig.mutation_kinds)} kinds x "
+                    f"{len(fconfig.intensities)} intensities x "
+                    f"{fconfig.mutants_per_config} mutants"
+                )
+
+            server_cells = {}
+            finished = self._fuzz_server(
+                server_id, selected, clients, mutator, limits,
+                result, server_cells, quarantine, progress,
+            )
+            if checkpoint is not None:
+                quarantine.save(checkpoint)
+                if finished:
+                    checkpoint.save(
+                        slice_key,
+                        {
+                            "services": len(selected),
+                            "cells": {
+                                "|".join(key): cell.to_obj()
+                                for key, cell in server_cells.items()
+                            },
+                        },
+                    )
+            if not finished:
+                result.aborted = True
+                break
+        result.quarantine = quarantine.entries()
+        return result
+
+    def _fuzz_server(self, server_id, selected, clients, mutator, limits,
+                     result, server_cells, quarantine, progress):
+        """Fuzz one server; returns False when fail-fast aborted it."""
+        fconfig = self.fconfig
+        for record in selected:
+            service_name = record.service.name
+            for kind in fconfig.mutation_kinds:
+                kind = MutationKind(kind)
+                for intensity in fconfig.intensities:
+                    for index in range(fconfig.mutants_per_config):
+                        mutant = mutator.mutate(
+                            record.wsdl_text, kind, intensity,
+                            server_id, service_name, index,
+                        )
+                        for client_id, client in clients.items():
+                            cell = result.ensure_cell(
+                                server_id, client_id, kind, intensity
+                            )
+                            server_cells[
+                                _fuzz_cell_key(
+                                    server_id, client_id, kind, intensity
+                                )
+                            ] = cell
+                            if quarantine.contains(
+                                server_id, service_name, client_id
+                            ):
+                                cell.add_quarantined()
+                                continue
+                            bucket, rejected, detail = self._drive(
+                                mutant, client, limits
+                            )
+                            cell.add(bucket, rejected=rejected)
+                            if bucket in (
+                                TriageBucket.TIMEOUT,
+                                TriageBucket.TOOL_INTERNAL,
+                            ):
+                                quarantine.poison(
+                                    server_id, service_name, client_id,
+                                    bucket.value, detail,
+                                )
+                                if (
+                                    fconfig.fail_fast
+                                    and bucket is TriageBucket.TOOL_INTERNAL
+                                ):
+                                    return False
+            if progress:
+                progress(f"[{server_id}] {service_name} fuzzed")
+        return True
+
+    def _drive(self, mutant, client, limits):
+        """Guarded wsdl2code pipeline over one mutant.
+
+        Returns ``(bucket, rejected, detail)``: the triage bucket, a
+        flag marking a *classified* tool rejection (diagnostics, not an
+        exception), and the failure detail for the quarantine record.
+        """
+        read_step = GuardedStep("wsdl-read", _read_mutant, limits=limits)
+        try:
+            read_step.check_input(mutant.text)
+        except Exception as exc:
+            return TriageBucket.RESOURCE_BLOWUP, False, str(exc)
+        parsed = read_step.run(mutant.text, limits.xml)
+        if not parsed.ok:
+            return parsed.bucket, False, parsed.detail
+
+        generated = GuardedStep(
+            "generate", client.generate, limits=limits
+        ).run(parsed.value)
+        if not generated.ok:
+            return generated.bucket, False, generated.detail
+        generation = generated.value
+        if not generation.succeeded:
+            return TriageBucket.CLEAN, True, ""
+
+        if client.requires_compilation:
+            compiled = GuardedStep(
+                "compile", client.compiler.compile, limits=limits
+            ).run(generation.bundle)
+            if not compiled.ok:
+                return compiled.bucket, False, compiled.detail
+            if not compiled.value.succeeded:
+                return TriageBucket.CLEAN, True, ""
+        else:
+            instantiated = GuardedStep(
+                "instantiate", client.instantiate, limits=limits
+            ).run(generation.bundle)
+            if not instantiated.ok:
+                return instantiated.bucket, False, instantiated.detail
+            if any(d.is_error for d in instantiated.value):
+                return TriageBucket.CLEAN, True, ""
+        return TriageBucket.CLEAN, False, ""

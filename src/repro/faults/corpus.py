@@ -1,0 +1,239 @@
+"""Seeded WSDL/XSD/XML corruption: the mutation corpus generator.
+
+WSDL-guided test generation (PropEr-style) derives inputs from the
+service description; this module derives *hostile* descriptions from
+well-formed ones.  A :class:`WsdlMutator` applies one of seven
+corruption operators to a serialized document, each seeded through
+:func:`repro.faults.plan.derive_seed` so the same (seed, label, kind,
+intensity, index) always yields the byte-identical mutant — the fuzz
+campaign's triage matrices are reproducible artifacts, not one-off
+crash logs.
+
+The operators mirror how descriptions really rot in the wild:
+
+* ``truncation`` — the download died mid-transfer;
+* ``tag-imbalance`` — hand-edited WSDLs with dropped/mangled end tags;
+* ``namespace-clobber`` — deleted or garbled ``xmlns`` declarations;
+* ``encoding-garbage`` — mojibake, control characters, broken entities;
+* ``attribute-duplication`` — copy-paste doubled attributes;
+* ``deep-nesting`` — pathological element depth (parser recursion);
+* ``huge-text`` — megabyte-scale text nodes (parser memory).
+
+Intensity in ``[0, 1]`` scales how hard each operator hits: how much is
+cut, how many declarations are clobbered, how deep the nesting goes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import re
+from dataclasses import dataclass
+
+from repro.faults.plan import derive_seed
+
+
+class MutationKind(enum.Enum):
+    """The corruption operators, in sweep order."""
+
+    TRUNCATION = "truncation"
+    TAG_IMBALANCE = "tag-imbalance"
+    NAMESPACE_CLOBBER = "namespace-clobber"
+    ENCODING_GARBAGE = "encoding-garbage"
+    ATTRIBUTE_DUPLICATION = "attribute-duplication"
+    DEEP_NESTING = "deep-nesting"
+    HUGE_TEXT = "huge-text"
+
+
+#: Sweep order used by campaigns and reports.
+DEFAULT_MUTATION_KINDS = tuple(MutationKind)
+
+_CLOSE_TAG = re.compile(r"</[A-Za-z_][^>]*>")
+_XMLNS_DECL = re.compile(r"\sxmlns(?::[A-Za-z_][\w.-]*)?=\"[^\"]*\"")
+_ATTRIBUTE = re.compile(r"\s([A-Za-z_][\w:.-]*)=\"([^\"]*)\"")
+
+_GARBAGE_RUNS = (
+    "\x00\x01\x07",
+    "&#xD800;",
+    "&bogus;",
+    "￾￿",
+    "<?",
+    "]]>",
+    "&#x110000;",
+    "\x1b[31m",
+    "ï»¿",
+)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One corrupted description, traceable back to its recipe."""
+
+    kind: MutationKind
+    intensity: float
+    seed: int
+    label: str
+    text: str
+
+    def __repr__(self):
+        return (
+            f"<Mutant {self.kind.value}@{self.intensity:g} "
+            f"label={self.label!r} {len(self.text)} chars>"
+        )
+
+
+class WsdlMutator:
+    """Applies seeded corruption operators to serialized documents."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def mutate(self, text, kind, intensity=0.5, *labels):
+        """Corrupt ``text`` with ``kind`` at ``intensity`` (seeded)."""
+        kind = MutationKind(kind)
+        intensity = min(1.0, max(0.0, float(intensity)))
+        seed = derive_seed(
+            self.seed, kind.value, repr(intensity), *labels
+        )
+        rng = random.Random(seed)
+        mutated = _OPERATORS[kind](text, intensity, rng)
+        label = ":".join(map(str, labels))
+        return Mutant(
+            kind=kind, intensity=intensity, seed=seed, label=label,
+            text=mutated,
+        )
+
+    def corpus(self, text, kinds=DEFAULT_MUTATION_KINDS,
+               intensities=(0.5,), per_config=1, label=""):
+        """All mutants of ``text``, in deterministic sweep order."""
+        mutants = []
+        for kind in kinds:
+            for intensity in intensities:
+                for index in range(per_config):
+                    mutants.append(
+                        self.mutate(text, kind, intensity, label, index)
+                    )
+        return mutants
+
+
+# -- operators ---------------------------------------------------------------
+
+
+def _truncate(text, intensity, rng):
+    # Cut between ~95% (gentle) and ~5% (brutal) of the document.
+    keep = 0.95 - 0.9 * intensity * rng.random()
+    cut = max(1, int(len(text) * keep))
+    return text[:cut]
+
+
+def _imbalance_tags(text, intensity, rng):
+    matches = list(_CLOSE_TAG.finditer(text))
+    if not matches:
+        return text + "</dangling>"
+    strikes = max(1, round(1 + intensity * 4))
+    pieces = text
+    for _ in range(strikes):
+        matches = list(_CLOSE_TAG.finditer(pieces))
+        if not matches:
+            break
+        target = rng.choice(matches)
+        op = rng.randrange(3)
+        if op == 0:  # drop the end tag entirely
+            pieces = pieces[: target.start()] + pieces[target.end():]
+        elif op == 1:  # mangle its name
+            pieces = (
+                pieces[: target.start()]
+                + f"</x{rng.randrange(10_000)}>"
+                + pieces[target.end():]
+            )
+        else:  # duplicate it (one close too many)
+            pieces = (
+                pieces[: target.end()]
+                + target.group(0)
+                + pieces[target.end():]
+            )
+    return pieces
+
+
+def _clobber_namespaces(text, intensity, rng):
+    declarations = list(_XMLNS_DECL.finditer(text))
+    if not declarations:
+        return text.replace("<", "<ns1:", 1)
+    strikes = max(1, round(1 + intensity * (len(declarations) - 1)))
+    victims = sorted(
+        rng.sample(range(len(declarations)), min(strikes, len(declarations))),
+        reverse=True,
+    )
+    for index in victims:
+        target = declarations[index]
+        op = rng.randrange(3)
+        if op == 0:  # delete the declaration: uses become undeclared
+            text = text[: target.start()] + text[target.end():]
+        elif op == 1:  # clobber the URI
+            replacement = re.sub(
+                r'"[^"]*"', f'"urn:clobbered:{rng.randrange(10_000)}"',
+                target.group(0), count=1,
+            )
+            text = text[: target.start()] + replacement + text[target.end():]
+        else:  # rename the prefix: declared name no longer matches uses
+            replacement = re.sub(
+                r"xmlns:[A-Za-z_][\w.-]*",
+                f"xmlns:zz{rng.randrange(1_000)}",
+                target.group(0), count=1,
+            )
+            text = text[: target.start()] + replacement + text[target.end():]
+    return text
+
+
+def _inject_garbage(text, intensity, rng):
+    runs = 1 + int(intensity * 9)
+    for _ in range(runs):
+        position = rng.randrange(1, len(text)) if len(text) > 1 else 0
+        garbage = rng.choice(_GARBAGE_RUNS)
+        text = text[:position] + garbage + text[position:]
+    return text
+
+
+def _duplicate_attributes(text, intensity, rng):
+    attributes = list(_ATTRIBUTE.finditer(text))
+    if not attributes:
+        return text
+    strikes = max(1, round(1 + intensity * 3))
+    victims = sorted(
+        rng.sample(range(len(attributes)), min(strikes, len(attributes))),
+        reverse=True,
+    )
+    for index in victims:
+        target = attributes[index]
+        text = text[: target.end()] + target.group(0) + text[target.end():]
+    return text
+
+
+def _nest_deeply(text, intensity, rng):
+    depth = 60 + int(intensity * 1_500)
+    point = text.rfind("</")
+    if point < 0:
+        point = len(text)
+    chain = "".join(f"<n{i % 7}>" for i in range(depth))
+    unwind = "".join(f"</n{i % 7}>" for i in reversed(range(depth)))
+    return text[:point] + chain + unwind + text[point:]
+
+
+def _bloat_text(text, intensity, rng):
+    size = 200_000 + int(intensity * 1_800_000)
+    point = text.rfind("</")
+    if point < 0:
+        point = len(text)
+    filler = rng.choice("abcdefgh") * size
+    return text[:point] + filler + text[point:]
+
+
+_OPERATORS = {
+    MutationKind.TRUNCATION: _truncate,
+    MutationKind.TAG_IMBALANCE: _imbalance_tags,
+    MutationKind.NAMESPACE_CLOBBER: _clobber_namespaces,
+    MutationKind.ENCODING_GARBAGE: _inject_garbage,
+    MutationKind.ATTRIBUTE_DUPLICATION: _duplicate_attributes,
+    MutationKind.DEEP_NESTING: _nest_deeply,
+    MutationKind.HUGE_TEXT: _bloat_text,
+}

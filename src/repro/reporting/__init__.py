@@ -8,6 +8,13 @@ from repro.reporting.compare import comparison_rows, fig4_comparison, table3_com
 from repro.reporting.experiments import render_experiments_markdown
 from repro.reporting.export import result_to_json, table3_to_csv
 from repro.reporting.figures import render_fig4
+from repro.reporting.fuzz import (
+    fuzz_matrix_rows,
+    fuzz_to_json,
+    render_fuzz_matrix,
+    render_quarantine,
+    render_triage_summary,
+)
 from repro.reporting.html import render_html_report
 from repro.reporting.latex import render_fig4_latex, render_table3_latex
 from repro.reporting.resilience import (
@@ -26,12 +33,17 @@ from repro.reporting.tables import (
 __all__ = [
     "comparison_rows",
     "fig4_comparison",
+    "fuzz_matrix_rows",
+    "fuzz_to_json",
     "render_client_robustness",
     "render_experiments_markdown",
     "render_fig4",
     "render_fig4_latex",
+    "render_fuzz_matrix",
     "render_html_report",
+    "render_quarantine",
     "render_resilience_matrix",
+    "render_triage_summary",
     "render_table",
     "resilience_matrix_rows",
     "resilience_to_json",

@@ -9,6 +9,17 @@ generated artifacts.
 """
 
 from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
+from repro.runtime.guard import (
+    FATAL_BUCKETS,
+    INLINE_LIMITS,
+    GuardLimits,
+    GuardedStep,
+    GuardVerdict,
+    InputBudgetExceeded,
+    TriageBucket,
+    classify_exception,
+    run_guarded,
+)
 from repro.runtime.lifecycle import LifecycleOutcome, run_full_lifecycle
 from repro.runtime.recorder import Exchange, TransportRecorder, check_exchange
 from repro.runtime.resilience import (
@@ -37,15 +48,24 @@ __all__ = [
     "DeadlineExceeded",
     "EchoServiceEndpoint",
     "Exchange",
+    "FATAL_BUCKETS",
     "GeneratedClientProxy",
+    "GuardLimits",
+    "GuardVerdict",
+    "GuardedStep",
     "HttpResponse",
+    "INLINE_LIMITS",
     "InMemoryHttpTransport",
+    "InputBudgetExceeded",
     "LifecycleOutcome",
     "NAIVE_POLICY",
     "ResiliencePolicy",
     "ResilientTransport",
     "TransportError",
     "TransportRecorder",
+    "TriageBucket",
     "check_exchange",
+    "classify_exception",
     "run_full_lifecycle",
+    "run_guarded",
 ]

@@ -1,0 +1,187 @@
+"""Guarded lifecycle-step execution: every failure becomes a verdict.
+
+The 22k-service sweep must be *total*: whatever a hostile WSDL makes a
+parser, generator or compiler simulator do — crash, recurse forever,
+allocate a gigabyte — the harness records a classified cell and moves
+on.  :class:`GuardedStep` wraps one lifecycle step with a wall-clock
+deadline, an input-size budget and an exception taxonomy that triages
+any raised error into one of four buckets:
+
+``parser-crash``
+    The tool rejected the document with one of its own classified
+    errors (:class:`XmlParseError`, :class:`WsdlReadError`, …) — the
+    expected, healthy response to a corrupt description.
+``resource-blowup``
+    A resource budget tripped (:class:`XmlLimitError`, RecursionError,
+    MemoryError, the guard's own input-size cap) — contained, but worth
+    tracking per tool.
+``timeout``
+    The step ran past its wall-clock deadline and was abandoned.
+``tool-internal``
+    Anything else: an unclassified exception escaping a simulator.
+    This is the bucket that must stay empty — each hit is a harness
+    bug, and the fuzz campaign quarantines the offending cell.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.wsdl.errors import WsdlError
+from repro.xmlcore.errors import XmlError, XmlLimitError
+from repro.xmlcore.parser import XmlLimits
+from repro.xsd.errors import SchemaError
+
+
+class TriageBucket(enum.Enum):
+    """Where a guarded step's outcome lands in the crash-triage matrix."""
+
+    CLEAN = "clean"
+    PARSER_CRASH = "parser-crash"
+    TIMEOUT = "timeout"
+    RESOURCE_BLOWUP = "resource-blowup"
+    TOOL_INTERNAL = "tool-internal"
+
+
+#: Buckets that poison a (server, service, client) triple: re-running
+#: the cell would stall the sweep or re-trigger a harness bug.
+FATAL_BUCKETS = (TriageBucket.TIMEOUT, TriageBucket.TOOL_INTERNAL)
+
+
+@dataclass(frozen=True)
+class GuardLimits:
+    """Budgets enforced around one guarded step."""
+
+    #: Wall-clock deadline per step; ``None`` disables the watchdog
+    #: thread and runs the step inline (cheapest, used on trusted input).
+    deadline_seconds: float = 10.0
+    #: Largest description text a step is asked to process at all.
+    max_input_bytes: int = 8_000_000
+    #: Parser budgets handed to :func:`repro.xmlcore.parse`.
+    xml: XmlLimits = field(default_factory=XmlLimits)
+
+
+#: No watchdog, default parser budgets — for trusted, in-corpus input.
+INLINE_LIMITS = GuardLimits(deadline_seconds=None)
+
+
+class InputBudgetExceeded(Exception):
+    """The description text exceeds the guard's input-size budget."""
+
+
+@dataclass
+class GuardVerdict:
+    """Classified outcome of one guarded step."""
+
+    step: str
+    bucket: TriageBucket
+    detail: str = ""
+    elapsed_seconds: float = 0.0
+    value: object = None
+    exception: BaseException = None
+
+    @property
+    def ok(self):
+        return self.bucket is TriageBucket.CLEAN
+
+    @property
+    def fatal(self):
+        """True when the cell should be quarantined, not re-run."""
+        return self.bucket in FATAL_BUCKETS
+
+
+def classify_exception(exc):
+    """Map an exception to its :class:`TriageBucket`."""
+    if isinstance(
+        exc,
+        (
+            XmlLimitError,
+            InputBudgetExceeded,
+            RecursionError,
+            MemoryError,
+            OverflowError,
+        ),
+    ):
+        return TriageBucket.RESOURCE_BLOWUP
+    if isinstance(exc, (XmlError, WsdlError, SchemaError)):
+        return TriageBucket.PARSER_CRASH
+    return TriageBucket.TOOL_INTERNAL
+
+
+def _describe(exc, limit=300):
+    text = f"{type(exc).__name__}: {exc}"
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class GuardedStep:
+    """Run one callable under the guard budgets, never letting it raise.
+
+    ``run`` returns a :class:`GuardVerdict`; the wrapped callable's
+    return value is on ``verdict.value`` when the bucket is CLEAN.
+    KeyboardInterrupt/SystemExit still propagate — the guard contains
+    tool failures, not operator intent.
+    """
+
+    def __init__(self, name, fn, limits=None):
+        self.name = name
+        self.fn = fn
+        self.limits = limits or GuardLimits()
+
+    def check_input(self, text):
+        """Raise :class:`InputBudgetExceeded` when ``text`` is too big."""
+        if text is not None and len(text) > self.limits.max_input_bytes:
+            raise InputBudgetExceeded(
+                f"{self.name}: input of {len(text)} chars exceeds the "
+                f"{self.limits.max_input_bytes}-char budget"
+            )
+
+    def run(self, *args, **kwargs):
+        started = time.perf_counter()
+        deadline = self.limits.deadline_seconds
+        if deadline is None:
+            outcome = self._call(args, kwargs)
+        else:
+            outcome = self._call_with_deadline(args, kwargs, deadline)
+        outcome.elapsed_seconds = time.perf_counter() - started
+        return outcome
+
+    def _call(self, args, kwargs):
+        try:
+            value = self.fn(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 — triaged, never swallowed
+            return GuardVerdict(
+                step=self.name,
+                bucket=classify_exception(exc),
+                detail=_describe(exc),
+                exception=exc,
+            )
+        return GuardVerdict(step=self.name, bucket=TriageBucket.CLEAN, value=value)
+
+    def _call_with_deadline(self, args, kwargs, deadline):
+        box = []
+
+        def worker():
+            box.append(self._call(args, kwargs))
+
+        thread = threading.Thread(
+            target=worker, name=f"guard-{self.name}", daemon=True
+        )
+        thread.start()
+        thread.join(deadline)
+        if thread.is_alive() or not box:
+            # The step is abandoned in its daemon thread; nothing it
+            # computes from here on is observed.
+            return GuardVerdict(
+                step=self.name,
+                bucket=TriageBucket.TIMEOUT,
+                detail=f"{self.name}: exceeded {deadline:g}s wall-clock deadline",
+            )
+        return box[0]
+
+
+def run_guarded(name, fn, *args, limits=None, **kwargs):
+    """One-shot convenience wrapper around :class:`GuardedStep`."""
+    return GuardedStep(name, fn, limits=limits).run(*args, **kwargs)

@@ -6,9 +6,11 @@ from dataclasses import dataclass
 
 from repro.core.outcomes import StepStatus
 from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
+from repro.runtime.guard import INLINE_LIMITS, GuardedStep, TriageBucket
 from repro.runtime.server import EchoServiceEndpoint
 from repro.runtime.transport import InMemoryHttpTransport, TransportError
-from repro.wsdl import read_wsdl_text
+from repro.wsdl.reader import read_wsdl
+from repro.xmlcore import parse as parse_xml
 
 
 @dataclass
@@ -22,24 +24,89 @@ class LifecycleOutcome:
     communication: StepStatus
     execution: StepStatus
     detail: str = ""
+    #: Triage bucket of the guard that failed, "" on the happy path.
+    triage: str = ""
 
     @property
     def reached_execution(self):
         return self.execution in (StepStatus.OK, StepStatus.WARNING)
 
 
-def run_full_lifecycle(deployment_record, client, client_id="", transport=None, values=None):
+def _triage_detail(verdict):
+    return f"[{verdict.bucket.value}] {verdict.detail}"
+
+
+def _read_description(text, xml_limits):
+    """What every wsdl2code tool does first: parse the downloaded WSDL."""
+    return read_wsdl(parse_xml(text, limits=xml_limits))
+
+
+def _failed(service_name, client_id, step, generation=StepStatus.ERROR,
+            compilation=StepStatus.SKIPPED, detail="", triage=""):
+    """A lifecycle outcome for a guard failure at ``step``."""
+    statuses = {
+        "generation": StepStatus.SKIPPED,
+        "compilation": StepStatus.SKIPPED,
+        "communication": StepStatus.SKIPPED,
+        "execution": StepStatus.SKIPPED,
+    }
+    statuses["generation"] = generation
+    statuses["compilation"] = compilation
+    statuses[step] = StepStatus.ERROR
+    return LifecycleOutcome(
+        service_name, client_id,
+        generation=statuses["generation"],
+        compilation=statuses["compilation"],
+        communication=statuses["communication"],
+        execution=statuses["execution"],
+        detail=detail,
+        triage=triage,
+    )
+
+
+def run_full_lifecycle(deployment_record, client, client_id="", transport=None,
+                       values=None, limits=None):
     """Run steps 2–5 for one deployed service and one client framework.
 
     Step 1 (Service Description Generation) already happened when the
     record was produced.  Steps with errors suppress the later ones,
     matching the campaign's gating semantics.
-    """
-    transport = transport or InMemoryHttpTransport()
-    document = read_wsdl_text(deployment_record.wsdl_text)
-    service_name = document.name
 
-    generation = client.generate(document)
+    Every step runs under a :class:`GuardedStep`, so a hostile or
+    corrupted description can never propagate an unclassified exception:
+    it lands in an ERROR outcome whose ``triage`` names the bucket.
+    ``limits`` defaults to :data:`INLINE_LIMITS` (no watchdog thread);
+    fuzz campaigns pass budgets with a wall-clock deadline.
+    """
+    limits = limits or INLINE_LIMITS
+    transport = transport or InMemoryHttpTransport()
+    service_name = getattr(deployment_record.service, "name", "")
+
+    read_step = GuardedStep("wsdl-read", _read_description, limits=limits)
+    try:
+        read_step.check_input(deployment_record.wsdl_text)
+    except Exception as exc:
+        return _failed(service_name, client_id, "generation",
+                       detail=f"[resource-blowup] {exc}",
+                       triage=TriageBucket.RESOURCE_BLOWUP.value)
+    parsed = read_step.run(deployment_record.wsdl_text, limits.xml)
+    if not parsed.ok:
+        # Reading the description is the first thing every wsdl2code
+        # tool does, so a parse failure is a generation-step error.
+        return _failed(service_name, client_id, "generation",
+                       detail=_triage_detail(parsed),
+                       triage=parsed.bucket.value)
+    document = parsed.value
+    service_name = document.name or service_name
+
+    generated = GuardedStep("generate", client.generate, limits=limits).run(
+        document
+    )
+    if not generated.ok:
+        return _failed(service_name, client_id, "generation",
+                       detail=_triage_detail(generated),
+                       triage=generated.bucket.value)
+    generation = generated.value
     if not generation.succeeded:
         return LifecycleOutcome(
             service_name, client_id,
@@ -55,7 +122,15 @@ def run_full_lifecycle(deployment_record, client, client_id="", transport=None, 
 
     compilation_status = StepStatus.NOT_APPLICABLE
     if client.requires_compilation:
-        compilation = client.compiler.compile(generation.bundle)
+        compiled = GuardedStep(
+            "compile", client.compiler.compile, limits=limits
+        ).run(generation.bundle)
+        if not compiled.ok:
+            return _failed(service_name, client_id, "compilation",
+                           generation=generation_status,
+                           detail=_triage_detail(compiled),
+                           triage=compiled.bucket.value)
+        compilation = compiled.value
         if not compilation.succeeded:
             return LifecycleOutcome(
                 service_name, client_id,
@@ -71,7 +146,16 @@ def run_full_lifecycle(deployment_record, client, client_id="", transport=None, 
 
     endpoint = EchoServiceEndpoint(deployment_record)
     endpoint.mount(transport)
-    proxy = GeneratedClientProxy(generation.bundle, document, transport)
+    proxied = GuardedStep(
+        "proxy", GeneratedClientProxy, limits=limits
+    ).run(generation.bundle, document, transport)
+    if not proxied.ok:
+        return _failed(service_name, client_id, "communication",
+                       generation=generation_status,
+                       compilation=compilation_status,
+                       detail=_triage_detail(proxied),
+                       triage=proxied.bucket.value)
+    proxy = proxied.value
     if not document.operations or not proxy.operations:
         return LifecycleOutcome(
             service_name, client_id,
@@ -86,17 +170,24 @@ def run_full_lifecycle(deployment_record, client, client_id="", transport=None, 
     payload = values
     if payload is None:
         payload = _sample_values(deployment_record.service.parameter_type)
-    try:
-        result = proxy.invoke(operation, payload)
-    except (ClientInvocationError, TransportError) as exc:
+    invoked = GuardedStep("invoke", proxy.invoke, limits=limits).run(
+        operation, payload
+    )
+    if not invoked.ok:
+        if isinstance(invoked.exception, (ClientInvocationError, TransportError)):
+            detail, triage = str(invoked.exception), ""
+        else:
+            detail, triage = _triage_detail(invoked), invoked.bucket.value
         return LifecycleOutcome(
             service_name, client_id,
             generation=generation_status,
             compilation=compilation_status,
             communication=StepStatus.ERROR,
             execution=StepStatus.SKIPPED,
-            detail=str(exc),
+            detail=detail,
+            triage=triage,
         )
+    result = invoked.value
 
     # A resilient transport records how the exchange went; recovery
     # after one or more re-sends is DEGRADED, not clean OK.

@@ -62,13 +62,17 @@ def read_wsdl(root):
             raise WsdlReadError(
                 f"message {message_el.get(QName('name'))!r} part is not element-typed"
             )
+        try:
+            element_qname = part_el.resolve_qname_value(
+                element_ref, default_namespace=target_namespace
+            )
+        except KeyError as exc:
+            raise WsdlReadError(str(exc)) from exc
         document.messages.append(
             WsdlMessage(
                 name=message_el.get(QName("name"), ""),
                 part_name=part_el.get(QName("name"), ""),
-                element=part_el.resolve_qname_value(
-                    element_ref, default_namespace=target_namespace
-                ),
+                element=element_qname,
             )
         )
 

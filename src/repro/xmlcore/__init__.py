@@ -16,7 +16,12 @@ Quick use::
     again = parse(text)
 """
 
-from repro.xmlcore.errors import XmlError, XmlParseError, XmlWriteError
+from repro.xmlcore.errors import (
+    XmlError,
+    XmlLimitError,
+    XmlParseError,
+    XmlWriteError,
+)
 from repro.xmlcore.model import Document, Element, QName
 from repro.xmlcore.names import (
     SOAP_ENV_NS,
@@ -28,11 +33,12 @@ from repro.xmlcore.names import (
     XSD_NS,
     XSI_NS,
 )
-from repro.xmlcore.parser import parse, parse_document
+from repro.xmlcore.parser import DEFAULT_LIMITS, XmlLimits, parse, parse_document
 from repro.xmlcore.writer import serialize, serialize_document
 from repro.xmlcore.xpath import XPathError, select, select_one
 
 __all__ = [
+    "DEFAULT_LIMITS",
     "Document",
     "Element",
     "QName",
@@ -46,6 +52,8 @@ __all__ = [
     "XSI_NS",
     "XPathError",
     "XmlError",
+    "XmlLimitError",
+    "XmlLimits",
     "XmlParseError",
     "XmlWriteError",
     "parse",

@@ -22,5 +22,19 @@ class XmlParseError(XmlError):
         self.column = column
 
 
+class XmlLimitError(XmlParseError):
+    """Raised when a document exceeds a configured resource budget.
+
+    Subclasses :class:`XmlParseError` so existing handlers still classify
+    the document as unreadable, but stays distinguishable: the guarded
+    executor triages a limit hit as ``resource-blowup`` rather than
+    ``parser-crash``.  The breached budget is named in ``limit``.
+    """
+
+    def __init__(self, message, limit="", position=0, line=1, column=1):
+        super().__init__(message, position=position, line=line, column=column)
+        self.limit = limit
+
+
 class XmlWriteError(XmlError):
     """Raised when a tree cannot be serialized (e.g. invalid names)."""

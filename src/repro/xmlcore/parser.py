@@ -15,9 +15,36 @@ because the client-tool simulators rely on those diagnostics.
 
 from __future__ import annotations
 
-from repro.xmlcore.errors import XmlParseError
+from dataclasses import dataclass
+
+from repro.xmlcore.errors import XmlLimitError, XmlParseError
 from repro.xmlcore.model import Document, Element, QName
 from repro.xmlcore.names import XML_NS
+
+
+@dataclass(frozen=True)
+class XmlLimits:
+    """Resource budgets enforced while parsing.
+
+    Hostile documents (pathological nesting, megabyte text nodes) must
+    fail with a classified :class:`XmlLimitError` — never by exhausting
+    Python's recursion limit or memory.  The defaults are far above
+    anything a real WSDL/XSD/SOAP document produces, so well-formed
+    corpus documents are unaffected.
+    """
+
+    #: Maximum element nesting depth (root = depth 1).  Kept safely
+    #: below Python's default recursion limit: each level costs two
+    #: interpreter frames in the recursive-descent parser.
+    max_depth: int = 160
+    #: Maximum length of one character-data / CDATA / attribute-value
+    #: run, measured before entity decoding.
+    max_text_length: int = 1_000_000
+    #: Maximum number of entity/character references decoded in one run.
+    max_entity_references: int = 10_000
+
+
+DEFAULT_LIMITS = XmlLimits()
 
 _PREDEFINED_ENTITIES = {
     "lt": "<",
@@ -75,6 +102,12 @@ class _Scanner:
         line, column = self.location()
         return XmlParseError(message, position=self.pos, line=line, column=column)
 
+    def limit_error(self, message, limit):
+        line, column = self.location()
+        return XmlLimitError(
+            message, limit=limit, position=self.pos, line=line, column=column
+        )
+
     def skip_whitespace(self):
         while not self.eof() and self.peek() in " \t\r\n":
             self.advance()
@@ -102,26 +135,34 @@ class _Scanner:
         return value
 
 
-def _decode_entities(raw, scanner):
+def _decode_entities(raw, scanner, limits=DEFAULT_LIMITS):
     """Resolve entity and character references inside ``raw`` text."""
     if "&" not in raw:
         return raw
     out = []
     index = 0
+    references = 0
     while index < len(raw):
         ch = raw[index]
         if ch != "&":
             out.append(ch)
             index += 1
             continue
+        references += 1
+        if references > limits.max_entity_references:
+            raise scanner.limit_error(
+                f"more than {limits.max_entity_references} entity references "
+                "in one text run",
+                limit="max_entity_references",
+            )
         end = raw.find(";", index + 1)
         if end < 0:
             raise scanner.error("unterminated entity reference")
         entity = raw[index + 1 : end]
         if entity.startswith("#x") or entity.startswith("#X"):
-            out.append(chr(int(entity[2:], 16)))
+            out.append(_char_reference(entity[2:], 16, scanner))
         elif entity.startswith("#"):
-            out.append(chr(int(entity[1:])))
+            out.append(_char_reference(entity[1:], 10, scanner))
         elif entity in _PREDEFINED_ENTITIES:
             out.append(_PREDEFINED_ENTITIES[entity])
         else:
@@ -130,11 +171,19 @@ def _decode_entities(raw, scanner):
     return "".join(out)
 
 
+def _char_reference(digits, base, scanner):
+    try:
+        return chr(int(digits, base))
+    except (ValueError, OverflowError):
+        raise scanner.error(f"invalid character reference &#{digits};") from None
+
+
 class _Parser:
-    def __init__(self, text):
+    def __init__(self, text, limits=None):
         if text.startswith("﻿"):
             text = text[1:]
         self.scanner = _Scanner(text)
+        self.limits = limits or DEFAULT_LIMITS
 
     # -- document ----------------------------------------------------------
 
@@ -194,8 +243,13 @@ class _Parser:
 
     # -- elements ----------------------------------------------------------
 
-    def _parse_element(self, namespace_scope):
+    def _parse_element(self, namespace_scope, depth=1):
         scanner = self.scanner
+        if depth > self.limits.max_depth:
+            raise scanner.limit_error(
+                f"element nesting deeper than {self.limits.max_depth}",
+                limit="max_depth",
+            )
         scanner.expect("<")
         raw_name = scanner.read_name()
         raw_attributes = self._parse_attributes()
@@ -236,7 +290,7 @@ class _Parser:
             scanner.advance(2)
             return element
         scanner.expect(">")
-        self._parse_content(element, scope)
+        self._parse_content(element, scope, depth)
 
         end_name = scanner.read_name()
         if end_name != raw_name:
@@ -265,12 +319,20 @@ class _Parser:
                 raise scanner.error("attribute value must be quoted")
             scanner.advance()
             raw_value = scanner.read_until(quote, "attribute value")
+            if len(raw_value) > self.limits.max_text_length:
+                raise scanner.limit_error(
+                    f"attribute value longer than {self.limits.max_text_length}",
+                    limit="max_text_length",
+                )
             if "<" in raw_value:
                 raise scanner.error("'<' is not allowed in attribute values")
-            attributes.append((name, _decode_entities(raw_value, scanner)))
+            attributes.append(
+                (name, _decode_entities(raw_value, scanner, self.limits))
+            )
 
-    def _parse_content(self, element, scope):
+    def _parse_content(self, element, scope, depth=1):
         scanner = self.scanner
+        limits = self.limits
         while True:
             if scanner.eof():
                 raise scanner.error(f"unterminated element <{element.name.local}>")
@@ -282,18 +344,31 @@ class _Parser:
                 scanner.read_until("-->", "comment")
             elif scanner.startswith("<![CDATA["):
                 scanner.advance(9)
-                element.content.append(scanner.read_until("]]>", "CDATA section"))
+                cdata = scanner.read_until("]]>", "CDATA section")
+                if len(cdata) > limits.max_text_length:
+                    raise scanner.limit_error(
+                        f"CDATA section longer than {limits.max_text_length}",
+                        limit="max_text_length",
+                    )
+                element.content.append(cdata)
             elif scanner.startswith("<?"):
                 scanner.advance(2)
                 scanner.read_until("?>", "processing instruction")
             elif scanner.peek() == "<":
-                element.content.append(self._parse_element(scope))
+                element.content.append(self._parse_element(scope, depth + 1))
             else:
                 start = scanner.pos
-                while not scanner.eof() and scanner.peek() != "<":
-                    scanner.advance()
-                raw = scanner.text[start : scanner.pos]
-                text = _decode_entities(raw, scanner)
+                end = scanner.text.find("<", start)
+                if end < 0:
+                    end = scanner.length
+                scanner.pos = end
+                raw = scanner.text[start:end]
+                if len(raw) > limits.max_text_length:
+                    raise scanner.limit_error(
+                        f"text run longer than {limits.max_text_length}",
+                        limit="max_text_length",
+                    )
+                text = _decode_entities(raw, scanner, limits)
                 if text:
                     element.content.append(text)
 
@@ -328,11 +403,15 @@ def _parse_pseudo_attributes(declaration):
     return result
 
 
-def parse(text):
-    """Parse ``text`` and return the root :class:`Element`."""
-    return _Parser(text).parse_document().root
+def parse(text, limits=None):
+    """Parse ``text`` and return the root :class:`Element`.
+
+    ``limits`` (an :class:`XmlLimits`) bounds nesting depth and text-run
+    size; breaching a budget raises a classified :class:`XmlLimitError`.
+    """
+    return _Parser(text, limits=limits).parse_document().root
 
 
-def parse_document(text):
+def parse_document(text, limits=None):
     """Parse ``text`` and return the full :class:`Document`."""
-    return _Parser(text).parse_document()
+    return _Parser(text, limits=limits).parse_document()

@@ -82,9 +82,16 @@ def _resolve(element, value):
 
 
 def _read_occurs(element):
-    minimum = int(element.get(QName("minOccurs"), "1"))
+    raw_min = element.get(QName("minOccurs"), "1")
     raw_max = element.get(QName("maxOccurs"), "1")
-    maximum = None if raw_max == "unbounded" else int(raw_max)
+    try:
+        minimum = int(raw_min)
+        maximum = None if raw_max == "unbounded" else int(raw_max)
+    except ValueError as exc:
+        raise SchemaReadError(
+            f"non-numeric occurs bounds: minOccurs={raw_min!r} "
+            f"maxOccurs={raw_max!r}"
+        ) from exc
     return minimum, maximum
 
 

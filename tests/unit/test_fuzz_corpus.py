@@ -1,0 +1,118 @@
+"""Unit tests for the seeded WSDL/XML corruption operators."""
+
+import pytest
+
+from repro.appservers import GlassFish
+from repro.faults import (
+    DEFAULT_MUTATION_KINDS,
+    MutationKind,
+    WsdlMutator,
+)
+from repro.services import ServiceDefinition
+from repro.typesystem import Language, Property, SimpleType, TypeInfo
+
+
+@pytest.fixture(scope="module")
+def wsdl_text():
+    entry = TypeInfo(
+        Language.JAVA, "pkg", "Corpus",
+        properties=(
+            Property("name", SimpleType.STRING),
+            Property("count", SimpleType.INT),
+        ),
+    )
+    record = GlassFish().deploy(ServiceDefinition(entry))
+    assert record.accepted
+    return record.wsdl_text
+
+
+class TestDeterminism:
+    def test_same_recipe_same_mutant(self, wsdl_text):
+        first = WsdlMutator(7).mutate(
+            wsdl_text, MutationKind.TRUNCATION, 0.5, "metro", "Corpus", 0
+        )
+        second = WsdlMutator(7).mutate(
+            wsdl_text, MutationKind.TRUNCATION, 0.5, "metro", "Corpus", 0
+        )
+        assert first.text == second.text
+        assert first.seed == second.seed
+
+    def test_different_seed_different_mutant(self, wsdl_text):
+        first = WsdlMutator(7).mutate(wsdl_text, MutationKind.TRUNCATION, 0.9)
+        second = WsdlMutator(8).mutate(wsdl_text, MutationKind.TRUNCATION, 0.9)
+        assert first.text != second.text
+
+    def test_labels_decorrelate_mutants(self, wsdl_text):
+        mutator = WsdlMutator(7)
+        first = mutator.mutate(wsdl_text, MutationKind.TRUNCATION, 0.9, "a")
+        second = mutator.mutate(wsdl_text, MutationKind.TRUNCATION, 0.9, "b")
+        assert first.seed != second.seed
+        assert first.text != second.text
+
+    def test_corpus_order_is_stable(self, wsdl_text):
+        mutator = WsdlMutator(11)
+        first = mutator.corpus(wsdl_text, intensities=(0.2, 0.8), per_config=2)
+        second = mutator.corpus(wsdl_text, intensities=(0.2, 0.8), per_config=2)
+        assert [m.text for m in first] == [m.text for m in second]
+        assert len(first) == len(DEFAULT_MUTATION_KINDS) * 2 * 2
+
+
+class TestOperators:
+    def test_truncation_shrinks(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(wsdl_text, MutationKind.TRUNCATION, 1.0)
+        assert 0 < len(mutant.text) < len(wsdl_text)
+
+    def test_tag_imbalance_changes_close_tags(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(
+            wsdl_text, MutationKind.TAG_IMBALANCE, 0.8
+        )
+        assert mutant.text != wsdl_text
+
+    def test_namespace_clobber_touches_xmlns(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(
+            wsdl_text, MutationKind.NAMESPACE_CLOBBER, 1.0
+        )
+        assert mutant.text != wsdl_text
+
+    def test_garbage_injected_scales_with_intensity(self, wsdl_text):
+        gentle = WsdlMutator(3).mutate(
+            wsdl_text, MutationKind.ENCODING_GARBAGE, 0.0
+        )
+        brutal = WsdlMutator(3).mutate(
+            wsdl_text, MutationKind.ENCODING_GARBAGE, 1.0
+        )
+        assert len(gentle.text) > len(wsdl_text)
+        assert len(brutal.text) > len(gentle.text)
+
+    def test_attribute_duplication(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(
+            wsdl_text, MutationKind.ATTRIBUTE_DUPLICATION, 0.5
+        )
+        assert len(mutant.text) > len(wsdl_text)
+
+    def test_deep_nesting_adds_depth(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(wsdl_text, MutationKind.DEEP_NESTING, 1.0)
+        assert mutant.text.count("<n0>") >= 200
+
+    def test_huge_text_is_megabyte_scale(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(wsdl_text, MutationKind.HUGE_TEXT, 1.0)
+        assert len(mutant.text) > 1_500_000
+
+    def test_kind_accepts_string_value(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(wsdl_text, "truncation", 0.5)
+        assert mutant.kind is MutationKind.TRUNCATION
+
+    def test_intensity_clamped(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(wsdl_text, MutationKind.TRUNCATION, 7.5)
+        assert mutant.intensity == 1.0
+
+    def test_unknown_kind_rejected(self, wsdl_text):
+        with pytest.raises(ValueError):
+            WsdlMutator(3).mutate(wsdl_text, "coffee-spill", 0.5)
+
+    def test_mutant_repr_names_recipe(self, wsdl_text):
+        mutant = WsdlMutator(3).mutate(
+            wsdl_text, MutationKind.TRUNCATION, 0.5, "metro", "Svc", 1
+        )
+        assert "truncation" in repr(mutant)
+        assert mutant.label == "metro:Svc:1"

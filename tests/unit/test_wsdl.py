@@ -161,3 +161,16 @@ class TestReader:
         )
         with pytest.raises(WsdlReadError):
             read_wsdl_text(text)
+
+    def test_undeclared_part_prefix_is_classified(self):
+        # A clobbered xmlns:tns must surface as WsdlReadError, not a
+        # raw KeyError escaping resolve_qname_value.
+        text = (
+            '<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" '
+            'targetNamespace="urn:t">'
+            '<wsdl:message name="m">'
+            '<wsdl:part name="p" element="tns:echo"/></wsdl:message>'
+            "</wsdl:definitions>"
+        )
+        with pytest.raises(WsdlReadError, match="undeclared prefix"):
+            read_wsdl_text(text)

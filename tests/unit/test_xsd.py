@@ -251,6 +251,18 @@ class TestReaderErrors:
         with pytest.raises(SchemaReadError):
             read_schema(parse(text))
 
+    def test_non_numeric_occurs_is_classified(self):
+        # Corrupted occurs bounds must surface as SchemaReadError, not
+        # a raw ValueError escaping int().
+        text = (
+            f'<xsd:schema xmlns:xsd="{XSD_NS}">'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:string" minOccurs="lots"/>'
+            "</xsd:sequence></xsd:complexType></xsd:schema>"
+        )
+        with pytest.raises(SchemaReadError, match="occurs"):
+            read_schema(parse(text))
+
     def test_local_element_without_type_rejected(self):
         text = (
             f'<xsd:schema xmlns:xsd="{XSD_NS}">'
