@@ -19,6 +19,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 import time
 
@@ -68,13 +70,70 @@ def _checkpoint_from(args):
     return None
 
 
+@contextlib.contextmanager
+def flush_signals_to_interrupt():
+    """Deliver SIGINT/SIGTERM as :class:`KeyboardInterrupt`.
+
+    SIGTERM's default action kills the process wherever it happens to
+    be — possibly between two slices of a long sweep, abandoning the
+    in-progress work without a trace.  Raising an exception instead
+    unwinds through the campaign's ``finally`` blocks and the pool
+    supervisor's shutdown path, so every atomic checkpoint write
+    completes and the quarantine registry is flushed before exit.
+    """
+    handled = (signal.SIGINT, signal.SIGTERM)
+
+    def raise_interrupt(signum, frame):
+        raise KeyboardInterrupt(signal.Signals(signum).name)
+
+    previous = {}
+    for sig in handled:
+        try:
+            previous[sig] = signal.signal(sig, raise_interrupt)
+        except ValueError:
+            # Not the main thread (embedded use); signals stay as-is.
+            pass
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _pool_config_from(args):
+    from repro.runtime.pool import PoolConfig
+
+    return PoolConfig(
+        workers=args.workers, watchdog_seconds=args.watchdog_secs
+    )
+
+
+def _print_pool_summary(stats):
+    from repro.reporting import render_pool_summary
+
+    print(render_pool_summary(stats), file=sys.stderr)
+
+
 def _run_campaign(args):
     config = _config_from(args)
     started = time.time()
-    result = Campaign(config).run(
-        progress=_progress if args.verbose else None,
-        checkpoint=_checkpoint_from(args),
-    )
+    progress = _progress if args.verbose else None
+    checkpoint = _checkpoint_from(args)
+    if getattr(args, "workers", 1) > 1:
+        from repro.runtime.pool import execute_sharded
+
+        job = Campaign(config).shard_job(
+            chunks_per_server=getattr(args, "shards", None)
+        )
+        result, stats = execute_sharded(
+            job, _pool_config_from(args),
+            checkpoint=checkpoint, progress=progress,
+        )
+        _print_pool_summary(stats)
+    else:
+        result = Campaign(config).run(
+            progress=progress, checkpoint=checkpoint
+        )
     elapsed = time.time() - started
     print(f"campaign finished in {elapsed:.1f}s", file=sys.stderr)
     return result
@@ -315,10 +374,18 @@ def cmd_resilience(args):
     )
     campaign = ResilienceCampaign(config)
     started = time.time()
-    result = campaign.run(
-        progress=_progress if args.verbose else None,
-        checkpoint=_checkpoint_from(args),
-    )
+    progress = _progress if args.verbose else None
+    checkpoint = _checkpoint_from(args)
+    if args.workers > 1:
+        from repro.runtime.pool import execute_sharded
+
+        result, stats = execute_sharded(
+            campaign.shard_job(), _pool_config_from(args),
+            checkpoint=checkpoint, progress=progress,
+        )
+        _print_pool_summary(stats)
+    else:
+        result = campaign.run(progress=progress, checkpoint=checkpoint)
     print(f"resilience sweep finished in {time.time() - started:.1f}s",
           file=sys.stderr)
     print(render_resilience_matrix(result, only_failing=args.only_failing))
@@ -384,10 +451,18 @@ def cmd_fuzz(args):
     )
     campaign = FuzzCampaign(config)
     started = time.time()
-    result = campaign.run(
-        progress=_progress if args.verbose else None,
-        checkpoint=_checkpoint_from(args),
-    )
+    progress = _progress if args.verbose else None
+    checkpoint = _checkpoint_from(args)
+    if args.workers > 1:
+        from repro.runtime.pool import execute_sharded
+
+        result, stats = execute_sharded(
+            campaign.shard_job(), _pool_config_from(args),
+            checkpoint=checkpoint, progress=progress,
+        )
+        _print_pool_summary(stats)
+    else:
+        result = campaign.run(progress=progress, checkpoint=checkpoint)
     print(f"fuzz sweep finished in {time.time() - started:.1f}s",
           file=sys.stderr)
     print(render_fuzz_matrix(result, only_failing=args.only_failing))
@@ -485,6 +560,25 @@ def cmd_lifecycle(args):
     return 0 if outcome.reached_execution else 2
 
 
+def _add_pool_arguments(parser, shards=False):
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 runs the sweep as a supervised "
+        "process-isolated pool (results are byte-identical to --workers 1)",
+    )
+    parser.add_argument(
+        "--watchdog-secs", type=float, default=300.0,
+        help="wall-clock seconds a worker may spend on one shard unit "
+        "before the supervisor kills it and contains the unit",
+    )
+    if shards:
+        parser.add_argument(
+            "--shards", type=int, default=None,
+            help="service chunks per server (default 4); worker-count "
+            "independent and part of the checkpoint fingerprint",
+        )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="wsinterop",
@@ -517,6 +611,7 @@ def build_parser():
         "--checkpoint-dir",
         help="checkpoint each completed server here; re-run to resume",
     )
+    _add_pool_arguments(run_parser, shards=True)
     run_parser.set_defaults(func=cmd_run)
 
     resilience_parser = sub.add_parser(
@@ -552,6 +647,7 @@ def build_parser():
         "--checkpoint-dir",
         help="checkpoint each completed server here; re-run to resume",
     )
+    _add_pool_arguments(resilience_parser)
     resilience_parser.set_defaults(func=cmd_resilience)
 
     fuzz_parser = sub.add_parser(
@@ -601,6 +697,7 @@ def build_parser():
         help="checkpoint each completed server here; re-run to resume "
         "(quarantined cells stay quarantined)",
     )
+    _add_pool_arguments(fuzz_parser)
     fuzz_parser.set_defaults(func=cmd_fuzz)
 
     matrix_parser = sub.add_parser(
@@ -674,12 +771,19 @@ def build_parser():
 def main(argv=None):
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        with flush_signals_to_interrupt():
+            return args.func(args)
     except CheckpointMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
         print("hint: point --checkpoint-dir at an empty directory, or "
               "re-run with the original campaign parameters", file=sys.stderr)
         return 2
+    except KeyboardInterrupt as exc:
+        name = exc.args[0] if exc.args else "SIGINT"
+        print(f"interrupted ({name}): completed slices are flushed to the "
+              "checkpoint; re-run with the same arguments to resume",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -17,12 +17,16 @@ from repro.core.extended import LifecycleCampaign, LifecycleCampaignResult
 from repro.core.outcomes import ClientTestRecord, Step, StepOutcome, StepStatus
 from repro.core.phases import PreparationPhase, TestingPhase
 from repro.core.results import CampaignResult, CellStats, ServerRunReport
+from repro.core.sharding import ShardJob, ShardUnit, chunk_bounds
 from repro.core.store import CampaignCheckpoint, load_result, save_result
 
 __all__ = [
     "Campaign",
     "CampaignCheckpoint",
     "CampaignConfig",
+    "ShardJob",
+    "ShardUnit",
+    "chunk_bounds",
     "LifecycleCampaign",
     "LifecycleCampaignResult",
     "PreparationPhase",

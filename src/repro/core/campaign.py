@@ -12,6 +12,7 @@ classifying each step.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 
@@ -59,6 +60,10 @@ class Campaign:
     def __init__(self, config=None):
         self.config = config or CampaignConfig()
         self._catalogs = {}
+        #: Deployed containers cached per server by ``run_shard_unit``,
+        #: so a worker handling several chunks of one server deploys
+        #: the corpus once.
+        self._shard_deployments = {}
 
     # -- Preparation Phase ---------------------------------------------------
 
@@ -98,14 +103,25 @@ class Campaign:
             server_ids=tuple(config.server_ids),
             client_ids=tuple(config.client_ids),
         )
+        with self._prepared_clients() as clients:
+            return self._run_servers(
+                result, clients, progress=progress, checkpoint=checkpoint
+            )
+
+    @contextlib.contextmanager
+    def _prepared_clients(self):
+        """The selected client frameworks with what-if overrides applied.
+
+        Overrides are remembered and restored on exit: the instances
+        come from a registry and must not leak mutated flags into
+        back-to-back ablation runs.
+        """
+        config = self.config
         clients = {
             client_id: client
             for client_id, client in all_client_frameworks().items()
             if client_id in config.client_ids
         }
-        # Apply what-if overrides, remembering originals: the instances
-        # come from a registry and must not leak mutated flags into
-        # back-to-back ablation runs.
         original_flags = []
         for client_id, overrides in config.client_flag_overrides.items():
             client = clients.get(client_id)
@@ -119,9 +135,7 @@ class Campaign:
                 original_flags.append((client, flag, getattr(client, flag)))
                 setattr(client, flag, value)
         try:
-            return self._run_servers(
-                result, clients, progress=progress, checkpoint=checkpoint
-            )
+            yield clients
         finally:
             for client, flag, value in reversed(original_flags):
                 setattr(client, flag, value)
@@ -226,6 +240,80 @@ class Campaign:
                 f"[{server_id}] done: {report.deployed} deployed, "
                 f"{report.refused} refused, {report.sdg_warnings} WS-I warnings"
             )
+
+    # -- sharded execution -----------------------------------------------------
+
+    def shard_job(self, chunks_per_server=None):
+        """This campaign as a :class:`~repro.core.sharding.ShardJob`."""
+        from repro.core.sharding import (
+            CAMPAIGN_RUN,
+            DEFAULT_CHUNKS_PER_SERVER,
+            ShardJob,
+        )
+
+        if chunks_per_server is None:
+            chunks_per_server = DEFAULT_CHUNKS_PER_SERVER
+        return ShardJob(CAMPAIGN_RUN, self.config, chunks_per_server)
+
+    def run_shard_unit(self, unit):
+        """Execute one (server, service-chunk) unit; JSON payload.
+
+        The chunk bounds are computed from the deployed-record count
+        with :func:`repro.core.sharding.chunk_bounds`, so the split
+        depends only on the corpus and the chunk count — never on the
+        worker count — and concatenating all chunk payloads in
+        canonical order reproduces the serial record stream exactly.
+        """
+        from repro.core.sharding import chunk_bounds
+        from repro.core.store import server_slice_to_obj
+
+        config = self.config
+        started = time.perf_counter()
+        if unit.server_id not in self._shard_deployments:
+            corpus = self.corpus_for(unit.server_id)
+            container = container_for(unit.server_id)
+            container.deploy_corpus(corpus)
+            self._shard_deployments[unit.server_id] = (len(corpus), container)
+        services_total, container = self._shard_deployments[unit.server_id]
+        deployed = container.deployed
+        start, stop = chunk_bounds(len(deployed), unit.chunk_count)[
+            unit.chunk_index
+        ]
+
+        # Server-level counters are repeated in every chunk; the WS-I
+        # sets carry only this chunk's share and are unioned at merge.
+        report = ServerRunReport(
+            server_id=unit.server_id,
+            server_name=container.framework.name,
+            services_total=services_total,
+            deployed=len(container.deployed),
+            refused=len(container.refused),
+        )
+        records = []
+        with self._prepared_clients() as clients:
+            for record in deployed[start:stop]:
+                document = read_wsdl_text(record.wsdl_text)
+                wsi = check_document(document)
+                if wsi.failures:
+                    report.wsi_failing.add(document.name)
+                elif wsi.advisories:
+                    report.wsi_advisory_only.add(document.name)
+                for client_id, client in clients.items():
+                    if config.parse_per_client:
+                        document_for_client = read_wsdl_text(record.wsdl_text)
+                    else:
+                        document_for_client = document
+                    records.append(
+                        run_client_test(
+                            unit.server_id, client_id, client,
+                            document_for_client,
+                        )
+                    )
+        return server_slice_to_obj(
+            report,
+            records,
+            wall_seconds=round(time.perf_counter() - started, 3),
+        )
 
 
 def run_default_campaign(progress=None):

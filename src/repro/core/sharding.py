@@ -1,0 +1,277 @@
+"""Deterministic sharding of campaign sweeps into isolated work units.
+
+The three sweeps — the plain assessment campaign, the resilience sweep
+and the corruption fuzz — are embarrassingly parallel, but a parallel
+run is only useful if it is *indistinguishable* from the serial one.
+This module owns both halves of that contract:
+
+* **Planning.**  A sweep is split into an ordered list of
+  :class:`ShardUnit` work units, one ``(server, service-chunk)`` pair at
+  a time.  The split depends only on the campaign configuration and the
+  chunk count — never on how many workers execute it — so the same
+  configuration always yields the same units with the same keys, and a
+  checkpoint written by a 2-worker run resumes exactly under 8 workers.
+
+* **Merging.**  Unit payloads (JSON-compatible, the same objects the
+  per-server checkpoints already use) are folded back into a campaign
+  result **in canonical shard order**, regardless of the order in which
+  workers completed them.  The merged result is byte-identical to the
+  serial path for any worker count.
+
+The chunked execution itself lives on the campaign classes
+(``run_shard_unit``); the supervised process pool that schedules units
+is :mod:`repro.runtime.pool`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Campaign kinds a :class:`ShardJob` can describe.
+CAMPAIGN_RUN = "run"
+CAMPAIGN_RESILIENCE = "resilience"
+CAMPAIGN_FUZZ = "fuzz"
+
+#: Default service-chunk count per server for the plain campaign.  Part
+#: of the checkpoint fingerprint: changing it re-shards the sweep.
+DEFAULT_CHUNKS_PER_SERVER = 4
+
+#: Test-only hook: when set to a callable, every worker invokes it with
+#: the :class:`ShardUnit` about to execute.  Worker processes inherit
+#: the hook through ``fork``, which lets tests simulate hard crashes
+#: (``os._exit``), hangs and resource blowups inside an isolated child
+#: without patching production code paths.
+unit_fault_hook = None
+
+
+@dataclass(frozen=True)
+class ShardUnit:
+    """One schedulable work unit: a chunk of one server's sweep."""
+
+    campaign: str
+    server_id: str
+    chunk_index: int
+    chunk_count: int
+
+    @property
+    def key(self):
+        """Stable checkpoint key; independent of the worker count."""
+        return (
+            f"{self.campaign}-{self.server_id}-"
+            f"{self.chunk_index:03d}of{self.chunk_count:03d}"
+        )
+
+
+def chunk_bounds(total, chunk_count):
+    """Split ``range(total)`` into ``chunk_count`` balanced ``[start, stop)``.
+
+    The first ``total % chunk_count`` chunks carry one extra item, so
+    the bounds are a pure function of ``(total, chunk_count)`` and the
+    concatenation of all chunks is exactly the original range.
+    """
+    if chunk_count < 1:
+        raise ValueError(f"chunk_count must be >= 1, got {chunk_count}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, extra = divmod(total, chunk_count)
+    bounds = []
+    start = 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """A campaign configuration plus its worker-count-independent split.
+
+    Carries everything a worker process needs to execute any unit of
+    the sweep (``build`` + ``run_unit``) and everything the supervisor
+    needs to plan (``units``), guard checkpoints (``fingerprint``) and
+    reassemble the result (``merge``).
+    """
+
+    campaign: str
+    config: object
+    chunks_per_server: int = 1
+
+    def __post_init__(self):
+        if self.campaign not in (
+            CAMPAIGN_RUN, CAMPAIGN_RESILIENCE, CAMPAIGN_FUZZ
+        ):
+            raise ValueError(f"unknown campaign kind {self.campaign!r}")
+        if self.chunks_per_server < 1:
+            raise ValueError(
+                f"chunks_per_server must be >= 1, got {self.chunks_per_server}"
+            )
+
+    @property
+    def server_ids(self):
+        if self.campaign == CAMPAIGN_RUN:
+            return tuple(self.config.server_ids)
+        return tuple(self.config.base.server_ids)
+
+    def units(self):
+        """The canonical, worker-count-independent unit list."""
+        units = []
+        for server_id in self.server_ids:
+            for index in range(self.chunks_per_server):
+                units.append(
+                    ShardUnit(
+                        self.campaign, server_id, index, self.chunks_per_server
+                    )
+                )
+        return units
+
+    def build(self):
+        """Instantiate the executable campaign for this job."""
+        if self.campaign == CAMPAIGN_RUN:
+            from repro.core.campaign import Campaign
+
+            return Campaign(self.config)
+        if self.campaign == CAMPAIGN_RESILIENCE:
+            from repro.faults.campaign import ResilienceCampaign
+
+            return ResilienceCampaign(self.config)
+        from repro.faults.campaign import FuzzCampaign
+
+        return FuzzCampaign(self.config)
+
+    def fingerprint(self):
+        """Checkpoint guard value: configuration + shard shape.
+
+        Deliberately excludes the worker count and the watchdog budget:
+        a sweep checkpointed under ``--workers 2`` must resume exactly
+        under any other worker count.
+        """
+        if self.campaign == CAMPAIGN_RUN:
+            from repro.core.campaign import Campaign
+
+            config = Campaign(self.config)._fingerprint()
+        else:
+            config = self.config.fingerprint()
+        return {
+            "campaign": self.campaign,
+            "shards": {"chunks_per_server": self.chunks_per_server},
+            "config": config,
+        }
+
+    def merge(self, payloads, poisoned=()):
+        """Fold unit payloads back into a campaign result.
+
+        ``payloads`` maps unit keys to the JSON payloads returned by
+        ``run_shard_unit``; units missing from it (crashed and poisoned,
+        or simply never executed) are skipped.  ``poisoned`` keys are
+        excluded even when a late payload exists for them, so the
+        result matches the supervision stats.  Merging always walks the
+        canonical unit order, which is what makes the result identical
+        for any completion order.
+        """
+        poisoned = set(poisoned)
+        ordered = [
+            (unit, payloads[unit.key])
+            for unit in self.units()
+            if unit.key in payloads and unit.key not in poisoned
+        ]
+        if self.campaign == CAMPAIGN_RUN:
+            return _merge_run(self.config, ordered)
+        if self.campaign == CAMPAIGN_RESILIENCE:
+            return _merge_resilience(self.config, ordered)
+        return _merge_fuzz(self.config, ordered)
+
+
+def run_unit(job, campaign, unit):
+    """Execute one unit on a built campaign (the worker's inner loop)."""
+    if unit_fault_hook is not None:
+        unit_fault_hook(unit)
+    return campaign.run_shard_unit(unit)
+
+
+# -- canonical-order merges ---------------------------------------------------
+
+
+def _merge_run(config, ordered):
+    from repro.core.results import CampaignResult
+    from repro.core.store import server_slice_from_obj
+
+    result = CampaignResult(
+        server_ids=tuple(config.server_ids),
+        client_ids=tuple(config.client_ids),
+    )
+    walls = {}
+    for unit, payload in ordered:
+        report, records, wall = server_slice_from_obj(unit.server_id, payload)
+        existing = result.servers.get(unit.server_id)
+        if existing is None:
+            result.servers[unit.server_id] = report
+        else:
+            # Chunks repeat the server-level counters and carry only
+            # their slice of the WS-I sets; union the sets, keep the
+            # counters from the first chunk.
+            existing.wsi_failing |= report.wsi_failing
+            existing.wsi_advisory_only |= report.wsi_advisory_only
+        for record in records:
+            result.add_record(record)
+        walls[unit.server_id] = round(
+            walls.get(unit.server_id, 0.0) + wall, 3
+        )
+    result.meta["wall_seconds"] = walls
+    return result
+
+
+def _merge_resilience(rconfig, ordered):
+    from repro.faults.campaign import (
+        ResilienceCampaignResult,
+        ResilienceCellStats,
+    )
+    from repro.faults.plan import FaultKind
+
+    result = ResilienceCampaignResult(
+        server_ids=tuple(rconfig.base.server_ids),
+        client_ids=tuple(rconfig.base.client_ids),
+        fault_kinds=tuple(
+            FaultKind(kind).value for kind in rconfig.fault_kinds
+        ),
+        rates=tuple(repr(float(rate)) for rate in rconfig.rates),
+        seed=rconfig.seed,
+    )
+    for unit, data in ordered:
+        result.services_per_server[unit.server_id] = data["services"]
+        for key, cell in data["cells"].items():
+            result.cells[tuple(key.split("|"))] = (
+                ResilienceCellStats.from_obj(cell)
+            )
+    return result
+
+
+def _merge_fuzz(fconfig, ordered):
+    from repro.core.store import QuarantineRegistry
+    from repro.faults.campaign import FuzzCampaignResult, FuzzCellStats
+    from repro.faults.corpus import MutationKind
+
+    result = FuzzCampaignResult(
+        server_ids=tuple(fconfig.base.server_ids),
+        client_ids=tuple(fconfig.base.client_ids),
+        mutation_kinds=tuple(
+            MutationKind(kind).value for kind in fconfig.mutation_kinds
+        ),
+        intensities=tuple(repr(float(i)) for i in fconfig.intensities),
+        seed=fconfig.seed,
+    )
+    registry = QuarantineRegistry()
+    for unit, data in ordered:
+        result.services_per_server[unit.server_id] = data["services"]
+        for key, cell in data["cells"].items():
+            result.cells[tuple(key.split("|"))] = FuzzCellStats.from_obj(cell)
+        for entry in data["quarantine"]:
+            registry.poison(*entry)
+        if not data.get("finished", True):
+            # fail-fast abort: the serial sweep stops here, so payloads
+            # of later units (a parallel run may have computed them
+            # already) are discarded for byte-identity.
+            result.aborted = True
+            break
+    result.quarantine = registry.entries()
+    return result

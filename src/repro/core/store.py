@@ -109,7 +109,10 @@ def write_json_atomic(obj, path):
 
     The payload goes to a temporary file in the destination directory
     (same filesystem, so the final rename is atomic) and is fsynced
-    before ``os.replace`` publishes it under the real name.
+    before ``os.replace`` publishes it under the real name.  The
+    directory entry is then fsynced too: without it the rename lives
+    only in the page cache, and a power loss right after a "durable"
+    checkpoint write could roll the directory back to the old file.
     """
     directory = os.path.dirname(os.path.abspath(path))
     descriptor, tmp_path = tempfile.mkstemp(
@@ -127,6 +130,22 @@ def write_json_atomic(obj, path):
         except OSError:
             pass
         raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory):
+    """Persist a directory's entries; best-effort off Linux/macOS."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        descriptor = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
 
 
 def save_result(result, path, include_records=True):
@@ -308,14 +327,20 @@ class QuarantineRegistry:
             )
         return registry
 
-    def save(self, checkpoint):
-        """Persist into ``checkpoint`` (a no-op when it is ``None``)."""
+    def save(self, checkpoint, key=None):
+        """Persist into ``checkpoint`` (a no-op when it is ``None``).
+
+        ``key`` overrides the checkpoint entry name, so independent
+        registries (cell-level fuzz quarantine, unit-level pool
+        quarantine) can share one checkpoint directory.
+        """
         if checkpoint is not None:
-            checkpoint.save(self.KEY, self.to_obj())
+            checkpoint.save(key or self.KEY, self.to_obj())
 
     @classmethod
-    def load(cls, checkpoint):
+    def load(cls, checkpoint, key=None):
         """Restore from ``checkpoint``; empty when absent or ``None``."""
-        if checkpoint is not None and checkpoint.has(cls.KEY):
-            return cls.from_obj(checkpoint.load(cls.KEY))
+        key = key or cls.KEY
+        if checkpoint is not None and checkpoint.has(key):
+            return cls.from_obj(checkpoint.load(key))
         return cls()

@@ -293,41 +293,14 @@ class ResilienceCampaign(LifecycleCampaign):
                     progress(f"[{server_id}] restored from checkpoint")
                 continue
 
-            container = container_for(server_id)
-            container.deploy_corpus(campaign.corpus_for(server_id))
-            selected = self._select(container.deployed)
-            result.services_per_server[server_id] = len(selected)
-            if progress:
-                progress(
-                    f"[{server_id}] fault sweep over {len(selected)} services, "
-                    f"{len(rconfig.fault_kinds)} kinds x {len(rconfig.rates)} rates"
-                )
-
-            server_cells = {}
-            for kind in rconfig.fault_kinds:
-                kind = FaultKind(kind)
-                for rate in rconfig.rates:
-                    for client_id, client in clients.items():
-                        cell = result.ensure_cell(
-                            server_id, client_id, kind, rate
-                        )
-                        server_cells[
-                            _cell_key(server_id, client_id, kind, rate)
-                        ] = cell
-                        self._run_cell(
-                            cell, server_id, client_id, client,
-                            kind, rate, selected,
-                        )
-                    if progress:
-                        progress(
-                            f"[{server_id}] {kind.value} @ {rate:g} done"
-                        )
-
+            services, server_cells = self._sweep_server(
+                server_id, clients, campaign, result, progress
+            )
             if checkpoint is not None:
                 checkpoint.save(
                     slice_key,
                     {
-                        "services": len(selected),
+                        "services": services,
                         "cells": {
                             "|".join(key): cell.to_obj()
                             for key, cell in server_cells.items()
@@ -335,6 +308,89 @@ class ResilienceCampaign(LifecycleCampaign):
                     },
                 )
         return result
+
+    def _sweep_server(self, server_id, clients, campaign, result,
+                      progress=None):
+        """Deploy one server and sweep every (kind, rate, client) cell.
+
+        Returns ``(services, server_cells)``, the ingredients of the
+        per-server checkpoint slice and the sharded unit payload.
+        """
+        rconfig = self.rconfig
+        container = container_for(server_id)
+        container.deploy_corpus(campaign.corpus_for(server_id))
+        selected = self._select(container.deployed)
+        result.services_per_server[server_id] = len(selected)
+        if progress:
+            progress(
+                f"[{server_id}] fault sweep over {len(selected)} services, "
+                f"{len(rconfig.fault_kinds)} kinds x {len(rconfig.rates)} rates"
+            )
+
+        server_cells = {}
+        for kind in rconfig.fault_kinds:
+            kind = FaultKind(kind)
+            for rate in rconfig.rates:
+                for client_id, client in clients.items():
+                    cell = result.ensure_cell(
+                        server_id, client_id, kind, rate
+                    )
+                    server_cells[
+                        _cell_key(server_id, client_id, kind, rate)
+                    ] = cell
+                    self._run_cell(
+                        cell, server_id, client_id, client,
+                        kind, rate, selected,
+                    )
+                if progress:
+                    progress(
+                        f"[{server_id}] {kind.value} @ {rate:g} done"
+                    )
+        return len(selected), server_cells
+
+    # -- sharded execution -----------------------------------------------------
+
+    def shard_job(self):
+        """This sweep as a :class:`~repro.core.sharding.ShardJob`.
+
+        One unit per server: within a server the circuit breaker
+        accumulates state across services, so a finer split would
+        change outcomes relative to the serial sweep.
+        """
+        from repro.core.sharding import CAMPAIGN_RESILIENCE, ShardJob
+
+        return ShardJob(CAMPAIGN_RESILIENCE, self.rconfig, 1)
+
+    def run_shard_unit(self, unit):
+        """Execute one whole-server unit; the checkpoint-slice payload."""
+        base = self.rconfig.base
+        clients = {
+            client_id: client
+            for client_id, client in all_client_frameworks().items()
+            if client_id in base.client_ids
+        }
+        campaign = self._shard_campaign()
+        result = ResilienceCampaignResult(
+            server_ids=tuple(base.server_ids),
+            client_ids=tuple(base.client_ids),
+        )
+        services, server_cells = self._sweep_server(
+            unit.server_id, clients, campaign, result
+        )
+        return {
+            "services": services,
+            "cells": {
+                "|".join(key): cell.to_obj()
+                for key, cell in server_cells.items()
+            },
+        }
+
+    def _shard_campaign(self):
+        """A cached base campaign, so a worker builds catalogs once."""
+        campaign = getattr(self, "_shard_campaign_cache", None)
+        if campaign is None:
+            campaign = self._shard_campaign_cache = Campaign(self.rconfig.base)
+        return campaign
 
     def _run_cell(self, cell, server_id, client_id, client, kind, rate,
                   selected):
@@ -653,22 +709,9 @@ class FuzzCampaign(LifecycleCampaign):
                     progress(f"[{server_id}] restored from checkpoint")
                 continue
 
-            container = container_for(server_id)
-            container.deploy_corpus(campaign.corpus_for(server_id))
-            selected = self._select(container.deployed)
-            result.services_per_server[server_id] = len(selected)
-            if progress:
-                progress(
-                    f"[{server_id}] fuzzing {len(selected)} services: "
-                    f"{len(fconfig.mutation_kinds)} kinds x "
-                    f"{len(fconfig.intensities)} intensities x "
-                    f"{fconfig.mutants_per_config} mutants"
-                )
-
-            server_cells = {}
-            finished = self._fuzz_server(
-                server_id, selected, clients, mutator, limits,
-                result, server_cells, quarantine, progress,
+            services, server_cells, finished = self._fuzz_one_server(
+                server_id, clients, campaign, mutator, limits,
+                result, quarantine, progress,
             )
             if checkpoint is not None:
                 quarantine.save(checkpoint)
@@ -676,7 +719,7 @@ class FuzzCampaign(LifecycleCampaign):
                     checkpoint.save(
                         slice_key,
                         {
-                            "services": len(selected),
+                            "services": services,
                             "cells": {
                                 "|".join(key): cell.to_obj()
                                 for key, cell in server_cells.items()
@@ -688,6 +731,83 @@ class FuzzCampaign(LifecycleCampaign):
                 break
         result.quarantine = quarantine.entries()
         return result
+
+    def _fuzz_one_server(self, server_id, clients, campaign, mutator, limits,
+                         result, quarantine, progress=None):
+        """Deploy and fuzz one server.
+
+        Returns ``(services, server_cells, finished)``, the ingredients
+        of the per-server checkpoint slice and the sharded unit payload.
+        """
+        fconfig = self.fconfig
+        container = container_for(server_id)
+        container.deploy_corpus(campaign.corpus_for(server_id))
+        selected = self._select(container.deployed)
+        result.services_per_server[server_id] = len(selected)
+        if progress:
+            progress(
+                f"[{server_id}] fuzzing {len(selected)} services: "
+                f"{len(fconfig.mutation_kinds)} kinds x "
+                f"{len(fconfig.intensities)} intensities x "
+                f"{fconfig.mutants_per_config} mutants"
+            )
+        server_cells = {}
+        finished = self._fuzz_server(
+            server_id, selected, clients, mutator, limits,
+            result, server_cells, quarantine, progress,
+        )
+        return len(selected), server_cells, finished
+
+    # -- sharded execution -----------------------------------------------------
+
+    def shard_job(self):
+        """This sweep as a :class:`~repro.core.sharding.ShardJob`.
+
+        One unit per server: quarantine triples are keyed by server, so
+        whole-server units keep poisoning semantics identical to the
+        serial sweep.
+        """
+        from repro.core.sharding import CAMPAIGN_FUZZ, ShardJob
+
+        return ShardJob(CAMPAIGN_FUZZ, self.fconfig, 1)
+
+    def run_shard_unit(self, unit):
+        """Execute one whole-server unit; the checkpoint-slice payload
+        plus this server's quarantine entries and fail-fast verdict."""
+        fconfig = self.fconfig
+        base = fconfig.base
+        clients = {
+            client_id: client
+            for client_id, client in all_client_frameworks().items()
+            if client_id in base.client_ids
+        }
+        campaign = self._shard_campaign()
+        quarantine = QuarantineRegistry()
+        result = FuzzCampaignResult(
+            server_ids=tuple(base.server_ids),
+            client_ids=tuple(base.client_ids),
+        )
+        services, server_cells, finished = self._fuzz_one_server(
+            unit.server_id, clients, campaign,
+            WsdlMutator(fconfig.seed), fconfig.guard_limits(),
+            result, quarantine,
+        )
+        return {
+            "services": services,
+            "cells": {
+                "|".join(key): cell.to_obj()
+                for key, cell in server_cells.items()
+            },
+            "quarantine": [list(entry) for entry in quarantine.entries()],
+            "finished": finished,
+        }
+
+    def _shard_campaign(self):
+        """A cached base campaign, so a worker builds catalogs once."""
+        campaign = getattr(self, "_shard_campaign_cache", None)
+        if campaign is None:
+            campaign = self._shard_campaign_cache = Campaign(self.fconfig.base)
+        return campaign
 
     def _fuzz_server(self, server_id, selected, clients, mutator, limits,
                      result, server_cells, quarantine, progress):

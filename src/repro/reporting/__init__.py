@@ -23,6 +23,11 @@ from repro.reporting.resilience import (
     resilience_matrix_rows,
     resilience_to_json,
 )
+from repro.reporting.supervision import (
+    render_pool_summary,
+    supervision_rows,
+    supervision_to_json,
+)
 from repro.reporting.tables import (
     render_table,
     render_table1,
@@ -41,9 +46,12 @@ __all__ = [
     "render_fig4_latex",
     "render_fuzz_matrix",
     "render_html_report",
+    "render_pool_summary",
     "render_quarantine",
     "render_resilience_matrix",
     "render_triage_summary",
+    "supervision_rows",
+    "supervision_to_json",
     "render_table",
     "resilience_matrix_rows",
     "resilience_to_json",
