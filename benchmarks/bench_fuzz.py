@@ -13,6 +13,9 @@ from conftest import print_rows
 from repro.core import CampaignConfig
 from repro.faults import FuzzCampaign, FuzzCampaignConfig, MutationKind
 
+#: mutation seed, recorded in BENCH_fuzz.json
+BENCH_SEED = 20140622
+
 
 def test_fuzz_sweep(benchmark):
     config = FuzzCampaignConfig(

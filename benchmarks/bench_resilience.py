@@ -17,6 +17,9 @@ from repro.faults import (
     policy_for,
 )
 
+#: fault-schedule seed, recorded in BENCH_resilience.json
+BENCH_SEED = 20140622
+
 
 def test_resilience_sweep(benchmark):
     config = ResilienceCampaignConfig(

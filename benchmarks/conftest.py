@@ -4,14 +4,90 @@ The paper-scale campaign result is computed once per session and shared:
 benchmark functions time *representative slices* (or one full pedantic
 round) and then print the paper-vs-measured rows for the table/figure
 they regenerate.
+
+Every bench module additionally leaves a machine-readable artifact
+behind: ``pytest_sessionfinish`` rolls the session's timings up per
+module and writes ``BENCH_<name>.json`` (name, metrics, seed, git rev)
+next to the benchmarks, so CI runs can be diffed without scraping
+captured stdout.  A module that sweeps under a fixed seed declares it as
+a ``BENCH_SEED`` global.
 """
 
 from __future__ import annotations
+
+import os
+import subprocess
 
 import pytest
 
 from repro.core import Campaign, CampaignConfig
 from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: module stem (without ``bench_``) -> declared BENCH_SEED, filled during
+#: collection while the module objects are still at hand.
+_MODULE_SEEDS = {}
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_BENCH_DIR, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def write_bench_json(name, metrics, seed=None):
+    """Write ``BENCH_<name>.json`` crash-safely; returns the path."""
+    from repro.core.store import write_json_atomic
+
+    path = os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+    write_json_atomic(
+        {"name": name, "metrics": metrics, "seed": seed,
+         "git_rev": _git_rev()},
+        path,
+    )
+    return path
+
+
+def _module_stem(fullname):
+    """``bench_totals.py::test_x`` -> ``totals``."""
+    stem = os.path.splitext(os.path.basename(fullname.split("::", 1)[0]))[0]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        module = getattr(item, "module", None)
+        module_file = getattr(module, "__file__", "") or ""
+        if os.path.basename(module_file).startswith("bench_"):
+            _MODULE_SEEDS[_module_stem(module_file)] = getattr(
+                module, "BENCH_SEED", None
+            )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    per_module = {}
+    for bench in bench_session.benchmarks:
+        if not bench:  # errored before producing any rounds
+            continue
+        stats = bench.stats
+        per_module.setdefault(_module_stem(bench.fullname), {})[bench.name] = {
+            "min_seconds": stats.min,
+            "max_seconds": stats.max,
+            "mean_seconds": stats.mean,
+            "stddev_seconds": stats.stddev,
+            "rounds": stats.rounds,
+            "iterations": bench.iterations,
+        }
+    for name, metrics in sorted(per_module.items()):
+        write_bench_json(name, metrics, seed=_MODULE_SEEDS.get(name))
 
 
 @pytest.fixture(scope="session")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import signal
 import sys
 import time
@@ -108,6 +109,65 @@ def _pool_config_from(args):
     )
 
 
+# -- tracing ------------------------------------------------------------------
+
+
+def _make_trace(args, campaign_kind, fingerprint):
+    """``--trace-dir`` context: ``None`` when tracing is off.
+
+    The trace ID comes from the campaign-level fingerprint — not the
+    shard fingerprint — so a serial run and any ``--workers N`` run of
+    the same configuration share span IDs.
+    """
+    trace_dir = getattr(args, "trace_dir", None)
+    if not trace_dir:
+        return None
+    from repro.obs import trace_id_for
+
+    return {
+        "dir": trace_dir,
+        "kind": campaign_kind,
+        "id": trace_id_for(campaign_kind, fingerprint),
+    }
+
+
+def _run_traced_serial(trace, run_fn):
+    """Run ``run_fn`` under an active tracer; flush the trace atomically."""
+    if trace is None:
+        return run_fn()
+    from repro.obs import Tracer, TraceSink, activate
+
+    tracer = Tracer(trace["id"])
+    with activate(tracer):
+        result = run_fn()
+    tracer.emit_root()
+    path = TraceSink(trace["dir"]).write(
+        trace["id"], trace["kind"], tracer.events, tracer.metrics, workers=1
+    )
+    print(f"trace written to {path}", file=sys.stderr)
+    return result
+
+
+def _pool_collector(trace):
+    if trace is None:
+        return None
+    from repro.obs import TraceCollector
+
+    return TraceCollector(trace["id"])
+
+
+def _write_pool_trace(trace, collector, workers):
+    if trace is None:
+        return
+    from repro.obs import TraceSink
+
+    path = TraceSink(trace["dir"]).write(
+        trace["id"], trace["kind"], collector.events, collector.metrics,
+        workers=workers, worker_events=collector.worker_events,
+    )
+    print(f"trace written to {path}", file=sys.stderr)
+
+
 def _print_pool_summary(stats):
     from repro.reporting import render_pool_summary
 
@@ -119,20 +179,26 @@ def _run_campaign(args):
     started = time.time()
     progress = _progress if args.verbose else None
     checkpoint = _checkpoint_from(args)
+    trace = _make_trace(args, "run", Campaign(config)._fingerprint())
     if getattr(args, "workers", 1) > 1:
         from repro.runtime.pool import execute_sharded
 
         job = Campaign(config).shard_job(
             chunks_per_server=getattr(args, "shards", None)
         )
+        collector = _pool_collector(trace)
         result, stats = execute_sharded(
             job, _pool_config_from(args),
-            checkpoint=checkpoint, progress=progress,
+            checkpoint=checkpoint, progress=progress, collector=collector,
         )
         _print_pool_summary(stats)
+        _write_pool_trace(trace, collector, args.workers)
     else:
-        result = Campaign(config).run(
-            progress=progress, checkpoint=checkpoint
+        result = _run_traced_serial(
+            trace,
+            lambda: Campaign(config).run(
+                progress=progress, checkpoint=checkpoint
+            ),
         )
     elapsed = time.time() - started
     print(f"campaign finished in {elapsed:.1f}s", file=sys.stderr)
@@ -376,16 +442,22 @@ def cmd_resilience(args):
     started = time.time()
     progress = _progress if args.verbose else None
     checkpoint = _checkpoint_from(args)
+    trace = _make_trace(args, "resilience", config.fingerprint())
     if args.workers > 1:
         from repro.runtime.pool import execute_sharded
 
+        collector = _pool_collector(trace)
         result, stats = execute_sharded(
             campaign.shard_job(), _pool_config_from(args),
-            checkpoint=checkpoint, progress=progress,
+            checkpoint=checkpoint, progress=progress, collector=collector,
         )
         _print_pool_summary(stats)
+        _write_pool_trace(trace, collector, args.workers)
     else:
-        result = campaign.run(progress=progress, checkpoint=checkpoint)
+        result = _run_traced_serial(
+            trace,
+            lambda: campaign.run(progress=progress, checkpoint=checkpoint),
+        )
     print(f"resilience sweep finished in {time.time() - started:.1f}s",
           file=sys.stderr)
     print(render_resilience_matrix(result, only_failing=args.only_failing))
@@ -453,16 +525,22 @@ def cmd_fuzz(args):
     started = time.time()
     progress = _progress if args.verbose else None
     checkpoint = _checkpoint_from(args)
+    trace = _make_trace(args, "fuzz", config.fingerprint())
     if args.workers > 1:
         from repro.runtime.pool import execute_sharded
 
+        collector = _pool_collector(trace)
         result, stats = execute_sharded(
             campaign.shard_job(), _pool_config_from(args),
-            checkpoint=checkpoint, progress=progress,
+            checkpoint=checkpoint, progress=progress, collector=collector,
         )
         _print_pool_summary(stats)
+        _write_pool_trace(trace, collector, args.workers)
     else:
-        result = campaign.run(progress=progress, checkpoint=checkpoint)
+        result = _run_traced_serial(
+            trace,
+            lambda: campaign.run(progress=progress, checkpoint=checkpoint),
+        )
     print(f"fuzz sweep finished in {time.time() - started:.1f}s",
           file=sys.stderr)
     print(render_fuzz_matrix(result, only_failing=args.only_failing))
@@ -560,6 +638,22 @@ def cmd_lifecycle(args):
     return 0 if outcome.reached_execution else 2
 
 
+def cmd_profile(args):
+    from repro.obs import TraceValidationError, load_trace
+    from repro.reporting import render_profile
+
+    try:
+        trace = load_trace(args.trace)
+    except TraceValidationError as exc:
+        print(f"error: invalid trace: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_profile(trace, top=args.top))
+    return 0
+
+
 def _add_pool_arguments(parser, shards=False):
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -570,6 +664,12 @@ def _add_pool_arguments(parser, shards=False):
         "--watchdog-secs", type=float, default=300.0,
         help="wall-clock seconds a worker may spend on one shard unit "
         "before the supervisor kills it and contains the unit",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a deterministic span trace (trace.jsonl) into DIR; "
+        "span IDs are identical for any --workers count and timing never "
+        "leaks into campaign payloads",
     )
     if shards:
         parser.add_argument(
@@ -713,6 +813,20 @@ def build_parser():
     analyze_parser.add_argument("result_file")
     analyze_parser.set_defaults(func=cmd_analyze)
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="render stage latencies, slowest services and worker "
+        "utilization from a trace written with --trace-dir",
+    )
+    profile_parser.add_argument(
+        "trace", help="trace.jsonl file, or the --trace-dir that holds one"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the slowest-services table",
+    )
+    profile_parser.set_defaults(func=cmd_profile)
+
     report_parser = sub.add_parser(
         "report", help="run the campaign, print Fig. 4 / Table III / comparison"
     )
@@ -784,6 +898,13 @@ def main(argv=None):
               "checkpoint; re-run with the same arguments to resume",
               file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `wsinterop profile ... | head`);
+        # not an error, but python would print a traceback at shutdown
+        # unless stdout is detached first
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.appservers import container_for
 from repro.core.pipeline import run_client_test
+from repro.obs.trace import current_tracer
 from repro.core.results import CampaignResult, ServerRunReport
 from repro.frameworks.registry import CLIENT_IDS, SERVER_IDS, all_client_frameworks
 from repro.services import generate_corpus
@@ -161,9 +162,13 @@ class Campaign:
         for server_id in config.server_ids:
             slice_key = f"server-{server_id}"
             if checkpoint is not None and checkpoint.has(slice_key):
-                report, records, wall = server_slice_from_obj(
-                    server_id, checkpoint.load(slice_key)
-                )
+                # The server span keeps its deterministic ID even when
+                # the slice is restored; inner spans are not replayed.
+                with current_tracer().span("server", server=server_id) as span:
+                    report, records, wall = server_slice_from_obj(
+                        server_id, checkpoint.load(slice_key)
+                    )
+                    span.annotate(restored=True, recorded_wall_seconds=wall)
                 for record in records:
                     result.add_record(record)
                 result.servers[server_id] = report
@@ -189,47 +194,65 @@ class Campaign:
 
     def _run_one_server(self, server_id, result, clients, progress=None):
         config = self.config
+        tracer = current_tracer()
         started = time.perf_counter()
-        container = container_for(server_id)
-        corpus = self.corpus_for(server_id)
-        if progress:
-            progress(
-                f"[{server_id}] deploying {len(corpus)} services on "
-                f"{container.name} {container.version}"
-            )
-        container.deploy_corpus(corpus)
-
-        report = ServerRunReport(
-            server_id=server_id,
-            server_name=container.framework.name,
-            services_total=len(corpus),
-            deployed=len(container.deployed),
-            refused=len(container.refused),
-        )
-
-        for index, record in enumerate(container.deployed):
-            document = read_wsdl_text(record.wsdl_text)
-            wsi = check_document(document)
-            if wsi.failures:
-                report.wsi_failing.add(document.name)
-            elif wsi.advisories:
-                report.wsi_advisory_only.add(document.name)
-
-            for client_id, client in clients.items():
-                if config.parse_per_client:
-                    document_for_client = read_wsdl_text(record.wsdl_text)
-                else:
-                    document_for_client = document
-                result.add_record(
-                    run_client_test(
-                        server_id, client_id, client, document_for_client
-                    )
-                )
-            if progress and (index + 1) % 500 == 0:
+        with tracer.span("server", server=server_id):
+            container = container_for(server_id)
+            corpus = self.corpus_for(server_id)
+            if progress:
                 progress(
-                    f"[{server_id}] tested {index + 1}/{len(container.deployed)} "
-                    "services"
+                    f"[{server_id}] deploying {len(corpus)} services on "
+                    f"{container.name} {container.version}"
                 )
+            with tracer.span("deploy") as deploy_span:
+                container.deploy_corpus(corpus)
+                deploy_span.annotate(
+                    deployed=len(container.deployed),
+                    refused=len(container.refused),
+                )
+
+            report = ServerRunReport(
+                server_id=server_id,
+                server_name=container.framework.name,
+                services_total=len(corpus),
+                deployed=len(container.deployed),
+                refused=len(container.refused),
+            )
+
+            for index, record in enumerate(container.deployed):
+                with tracer.span("service", service=record.service.name):
+                    with tracer.span("wsdl-read"):
+                        document = read_wsdl_text(record.wsdl_text)
+                    with tracer.span("wsi-check") as wsi_span:
+                        wsi = check_document(document)
+                        wsi_span.annotate(
+                            failures=len(wsi.failures),
+                            advisories=len(wsi.advisories),
+                        )
+                    if wsi.failures:
+                        report.wsi_failing.add(document.name)
+                    elif wsi.advisories:
+                        report.wsi_advisory_only.add(document.name)
+
+                    for client_id, client in clients.items():
+                        if config.parse_per_client:
+                            document_for_client = read_wsdl_text(
+                                record.wsdl_text
+                            )
+                        else:
+                            document_for_client = document
+                        with tracer.span("test", client=client_id):
+                            result.add_record(
+                                run_client_test(
+                                    server_id, client_id, client,
+                                    document_for_client,
+                                )
+                            )
+                if progress and (index + 1) % 500 == 0:
+                    progress(
+                        f"[{server_id}] tested "
+                        f"{index + 1}/{len(container.deployed)} services"
+                    )
 
         result.servers[server_id] = report
         result.meta.setdefault("wall_seconds", {})[server_id] = round(
@@ -268,52 +291,78 @@ class Campaign:
         from repro.core.store import server_slice_to_obj
 
         config = self.config
+        tracer = current_tracer()
         started = time.perf_counter()
-        if unit.server_id not in self._shard_deployments:
-            corpus = self.corpus_for(unit.server_id)
-            container = container_for(unit.server_id)
-            container.deploy_corpus(corpus)
-            self._shard_deployments[unit.server_id] = (len(corpus), container)
-        services_total, container = self._shard_deployments[unit.server_id]
-        deployed = container.deployed
-        start, stop = chunk_bounds(len(deployed), unit.chunk_count)[
-            unit.chunk_index
-        ]
+        # The unit executes a *slice* of the server, so its children
+        # position under the server rollup span without emitting it —
+        # the merge (or the serial path) owns that event.  The deploy
+        # span is emitted by the chunk-0 unit only, so its place in the
+        # canonical order never depends on which worker deployed first.
+        with tracer.virtual_span("server", server=unit.server_id):
+            already_deployed = unit.server_id in self._shard_deployments
+            if unit.chunk_index == 0:
+                with tracer.span("deploy") as deploy_span:
+                    self._ensure_shard_deployment(unit.server_id)
+                    deploy_span.annotate(cached=already_deployed)
+            else:
+                self._ensure_shard_deployment(unit.server_id)
+            services_total, container = self._shard_deployments[unit.server_id]
+            deployed = container.deployed
+            start, stop = chunk_bounds(len(deployed), unit.chunk_count)[
+                unit.chunk_index
+            ]
 
-        # Server-level counters are repeated in every chunk; the WS-I
-        # sets carry only this chunk's share and are unioned at merge.
-        report = ServerRunReport(
-            server_id=unit.server_id,
-            server_name=container.framework.name,
-            services_total=services_total,
-            deployed=len(container.deployed),
-            refused=len(container.refused),
-        )
-        records = []
-        with self._prepared_clients() as clients:
-            for record in deployed[start:stop]:
-                document = read_wsdl_text(record.wsdl_text)
-                wsi = check_document(document)
-                if wsi.failures:
-                    report.wsi_failing.add(document.name)
-                elif wsi.advisories:
-                    report.wsi_advisory_only.add(document.name)
-                for client_id, client in clients.items():
-                    if config.parse_per_client:
-                        document_for_client = read_wsdl_text(record.wsdl_text)
-                    else:
-                        document_for_client = document
-                    records.append(
-                        run_client_test(
-                            unit.server_id, client_id, client,
-                            document_for_client,
-                        )
-                    )
+            # Server-level counters are repeated in every chunk; the WS-I
+            # sets carry only this chunk's share and are unioned at merge.
+            report = ServerRunReport(
+                server_id=unit.server_id,
+                server_name=container.framework.name,
+                services_total=services_total,
+                deployed=len(container.deployed),
+                refused=len(container.refused),
+            )
+            records = []
+            with self._prepared_clients() as clients:
+                for record in deployed[start:stop]:
+                    with tracer.span("service", service=record.service.name):
+                        with tracer.span("wsdl-read"):
+                            document = read_wsdl_text(record.wsdl_text)
+                        with tracer.span("wsi-check") as wsi_span:
+                            wsi = check_document(document)
+                            wsi_span.annotate(
+                                failures=len(wsi.failures),
+                                advisories=len(wsi.advisories),
+                            )
+                        if wsi.failures:
+                            report.wsi_failing.add(document.name)
+                        elif wsi.advisories:
+                            report.wsi_advisory_only.add(document.name)
+                        for client_id, client in clients.items():
+                            if config.parse_per_client:
+                                document_for_client = read_wsdl_text(
+                                    record.wsdl_text
+                                )
+                            else:
+                                document_for_client = document
+                            with tracer.span("test", client=client_id):
+                                records.append(
+                                    run_client_test(
+                                        unit.server_id, client_id, client,
+                                        document_for_client,
+                                    )
+                                )
         return server_slice_to_obj(
             report,
             records,
             wall_seconds=round(time.perf_counter() - started, 3),
         )
+
+    def _ensure_shard_deployment(self, server_id):
+        if server_id not in self._shard_deployments:
+            corpus = self.corpus_for(server_id)
+            container = container_for(server_id)
+            container.deploy_corpus(corpus)
+            self._shard_deployments[server_id] = (len(corpus), container)
 
 
 def run_default_campaign(progress=None):

@@ -16,16 +16,19 @@ from repro.core.outcomes import (
     ClientTestRecord,
     classify,
 )
+from repro.obs.trace import current_tracer
 
 
 def run_client_test(server_id, client_id, client, document):
     """Run ``client`` against a parsed WSDL ``document``."""
-    generation = client.generate(document)
-    generation_outcome = classify(
-        error_count=len(generation.errors),
-        warning_count=len(generation.warnings),
-        codes=sorted({diag.code for diag in generation.diagnostics}),
-    )
+    with current_tracer().span("generate") as span:
+        generation = client.generate(document)
+        generation_outcome = classify(
+            error_count=len(generation.errors),
+            warning_count=len(generation.warnings),
+            codes=sorted({diag.code for diag in generation.diagnostics}),
+        )
+        span.annotate(status=generation_outcome.status.value)
 
     compilation_outcome = NOT_APPLICABLE_OUTCOME
     if client.requires_compilation:
@@ -33,12 +36,16 @@ def run_client_test(server_id, client_id, client, document):
             client.compiles_partial_output and generation.bundle is not None
         )
         if run_compile:
-            compilation = client.compiler.compile(generation.bundle)
-            compilation_outcome = classify(
-                error_count=len(compilation.errors),
-                warning_count=len(compilation.warnings),
-                codes=sorted({diag.code for diag in compilation.diagnostics}),
-            )
+            with current_tracer().span("compile") as span:
+                compilation = client.compiler.compile(generation.bundle)
+                compilation_outcome = classify(
+                    error_count=len(compilation.errors),
+                    warning_count=len(compilation.warnings),
+                    codes=sorted(
+                        {diag.code for diag in compilation.diagnostics}
+                    ),
+                )
+                span.annotate(status=compilation_outcome.status.value)
         else:
             compilation_outcome = SKIPPED_OUTCOME
 

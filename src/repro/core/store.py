@@ -104,8 +104,8 @@ class CheckpointMismatch(ValueError):
     """A checkpoint directory belongs to a different campaign config."""
 
 
-def write_json_atomic(obj, path):
-    """Write ``obj`` as JSON so a crash can never leave a corrupt file.
+def write_text_atomic(text, path):
+    """Write ``text`` so a crash can never leave a corrupt file.
 
     The payload goes to a temporary file in the destination directory
     (same filesystem, so the final rename is atomic) and is fsynced
@@ -120,7 +120,7 @@ def write_json_atomic(obj, path):
     )
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(obj, handle)
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -131,6 +131,11 @@ def write_json_atomic(obj, path):
             pass
         raise
     _fsync_directory(directory)
+
+
+def write_json_atomic(obj, path):
+    """Write ``obj`` as JSON via :func:`write_text_atomic`."""
+    write_text_atomic(json.dumps(obj), path)
 
 
 def _fsync_directory(directory):

@@ -36,6 +36,7 @@ from repro.faults.plan import DEFAULT_FAULT_KINDS, FaultKind, FaultPlan, derive_
 from repro.faults.policies import policy_for
 from repro.faults.transport import FaultingTransport
 from repro.frameworks.registry import all_client_frameworks
+from repro.obs.trace import current_tracer
 from repro.runtime import InMemoryHttpTransport, ResilientTransport, run_full_lifecycle
 from repro.runtime.guard import GuardedStep, GuardLimits, TriageBucket
 from repro.wsdl.reader import read_wsdl
@@ -317,35 +318,50 @@ class ResilienceCampaign(LifecycleCampaign):
         per-server checkpoint slice and the sharded unit payload.
         """
         rconfig = self.rconfig
-        container = container_for(server_id)
-        container.deploy_corpus(campaign.corpus_for(server_id))
-        selected = self._select(container.deployed)
-        result.services_per_server[server_id] = len(selected)
-        if progress:
-            progress(
-                f"[{server_id}] fault sweep over {len(selected)} services, "
-                f"{len(rconfig.fault_kinds)} kinds x {len(rconfig.rates)} rates"
-            )
+        tracer = current_tracer()
+        # One shard unit covers the whole server, so the server span is
+        # real on both the serial and the sharded path (the merge
+        # dedupes by span ID).
+        with tracer.span("server", server=server_id):
+            container = container_for(server_id)
+            with tracer.span("deploy") as deploy_span:
+                container.deploy_corpus(campaign.corpus_for(server_id))
+                deploy_span.annotate(deployed=len(container.deployed))
+            selected = self._select(container.deployed)
+            result.services_per_server[server_id] = len(selected)
+            if progress:
+                progress(
+                    f"[{server_id}] fault sweep over {len(selected)} services, "
+                    f"{len(rconfig.fault_kinds)} kinds x {len(rconfig.rates)} rates"
+                )
 
-        server_cells = {}
-        for kind in rconfig.fault_kinds:
-            kind = FaultKind(kind)
-            for rate in rconfig.rates:
-                for client_id, client in clients.items():
-                    cell = result.ensure_cell(
-                        server_id, client_id, kind, rate
-                    )
-                    server_cells[
-                        _cell_key(server_id, client_id, kind, rate)
-                    ] = cell
-                    self._run_cell(
-                        cell, server_id, client_id, client,
-                        kind, rate, selected,
-                    )
-                if progress:
-                    progress(
-                        f"[{server_id}] {kind.value} @ {rate:g} done"
-                    )
+            server_cells = {}
+            for kind in rconfig.fault_kinds:
+                kind = FaultKind(kind)
+                for rate in rconfig.rates:
+                    for client_id, client in clients.items():
+                        cell = result.ensure_cell(
+                            server_id, client_id, kind, rate
+                        )
+                        server_cells[
+                            _cell_key(server_id, client_id, kind, rate)
+                        ] = cell
+                        with tracer.span(
+                            "cell", client=client_id, kind=kind.value,
+                            rate=repr(float(rate)),
+                        ) as cell_span:
+                            self._run_cell(
+                                cell, server_id, client_id, client,
+                                kind, rate, selected,
+                            )
+                            cell_span.annotate(
+                                tests=cell.tests, completed=cell.completed,
+                                retries=cell.retries,
+                            )
+                    if progress:
+                        progress(
+                            f"[{server_id}] {kind.value} @ {rate:g} done"
+                        )
         return len(selected), server_cells
 
     # -- sharded execution -----------------------------------------------------
@@ -740,22 +756,28 @@ class FuzzCampaign(LifecycleCampaign):
         of the per-server checkpoint slice and the sharded unit payload.
         """
         fconfig = self.fconfig
-        container = container_for(server_id)
-        container.deploy_corpus(campaign.corpus_for(server_id))
-        selected = self._select(container.deployed)
-        result.services_per_server[server_id] = len(selected)
-        if progress:
-            progress(
-                f"[{server_id}] fuzzing {len(selected)} services: "
-                f"{len(fconfig.mutation_kinds)} kinds x "
-                f"{len(fconfig.intensities)} intensities x "
-                f"{fconfig.mutants_per_config} mutants"
+        tracer = current_tracer()
+        with tracer.span("server", server=server_id) as server_span:
+            container = container_for(server_id)
+            with tracer.span("deploy") as deploy_span:
+                container.deploy_corpus(campaign.corpus_for(server_id))
+                deploy_span.annotate(deployed=len(container.deployed))
+            selected = self._select(container.deployed)
+            result.services_per_server[server_id] = len(selected)
+            if progress:
+                progress(
+                    f"[{server_id}] fuzzing {len(selected)} services: "
+                    f"{len(fconfig.mutation_kinds)} kinds x "
+                    f"{len(fconfig.intensities)} intensities x "
+                    f"{fconfig.mutants_per_config} mutants"
+                )
+            server_cells = {}
+            finished = self._fuzz_server(
+                server_id, selected, clients, mutator, limits,
+                result, server_cells, quarantine, progress,
             )
-        server_cells = {}
-        finished = self._fuzz_server(
-            server_id, selected, clients, mutator, limits,
-            result, server_cells, quarantine, progress,
-        )
+            if not finished:
+                server_span.annotate(aborted=True)
         return len(selected), server_cells, finished
 
     # -- sharded execution -----------------------------------------------------
@@ -813,6 +835,7 @@ class FuzzCampaign(LifecycleCampaign):
                      result, server_cells, quarantine, progress):
         """Fuzz one server; returns False when fail-fast aborted it."""
         fconfig = self.fconfig
+        tracer = current_tracer()
         for record in selected:
             service_name = record.service.name
             for kind in fconfig.mutation_kinds:
@@ -832,15 +855,25 @@ class FuzzCampaign(LifecycleCampaign):
                                     server_id, client_id, kind, intensity
                                 )
                             ] = cell
-                            if quarantine.contains(
-                                server_id, service_name, client_id
-                            ):
-                                cell.add_quarantined()
-                                continue
-                            bucket, rejected, detail = self._drive(
-                                mutant, client, limits
-                            )
-                            cell.add(bucket, rejected=rejected)
+                            with tracer.span(
+                                "mutant", service=service_name,
+                                client=client_id, kind=kind.value,
+                                intensity=repr(float(intensity)),
+                                index=index,
+                            ) as mutant_span:
+                                if quarantine.contains(
+                                    server_id, service_name, client_id
+                                ):
+                                    cell.add_quarantined()
+                                    mutant_span.annotate(quarantined=True)
+                                    continue
+                                bucket, rejected, detail = self._drive(
+                                    mutant, client, limits
+                                )
+                                cell.add(bucket, rejected=rejected)
+                                mutant_span.annotate(
+                                    bucket=bucket.value, rejected=rejected
+                                )
                             if bucket in (
                                 TriageBucket.TIMEOUT,
                                 TriageBucket.TOOL_INTERNAL,

@@ -1,0 +1,224 @@
+"""Zero-dependency metrics: counters, gauges, fixed-bucket histograms.
+
+The registry aggregates what the span tracer observes — step latencies,
+per-(server, client) pair latencies, triage-bucket counts — without any
+external client library.  Histograms use a fixed bucket layout so two
+registries filled on different processes can be merged bucket-by-bucket,
+and so percentile estimates (p50/p95/p99) are a pure function of the
+bucket counts: merging per-unit registries in canonical shard order
+yields the same counts as the serial sweep.
+
+Values carry no identity: everything that must be deterministic (names,
+labels, counts) is integral or string-typed; durations are floats and
+live only in trace artifacts, never in campaign payloads.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+_FORMAT = 1
+
+#: Default latency bucket upper bounds, in milliseconds.  Spans from
+#: sub-millisecond in-memory steps up to the 30 s watchdog scale.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def _label_key(labels):
+    """Canonical, hashable identity of one label set."""
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram; the last implicit bucket is +Inf."""
+
+    bounds: tuple = DEFAULT_LATENCY_BUCKETS_MS
+    counts: list = None
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self):
+        if self.counts is None:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value):
+        value = float(value)
+        self.total += value
+        self.count += 1
+        # First bound >= value, i.e. the "value <= bound" bucket; past
+        # the last bound this indexes the implicit +Inf bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    def quantile(self, q):
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        The overflow bucket is clamped to the largest finite bound, so
+        estimates are conservative for outliers beyond the layout.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index >= len(self.bounds):
+                    return float(self.bounds[-1])
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return float(self.bounds[-1])
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other):
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.total += other.total
+        self.count += other.count
+
+    def to_obj(self):
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_obj(cls, obj):
+        return cls(
+            bounds=tuple(obj["bounds"]),
+            counts=list(obj["counts"]),
+            total=obj["total"],
+            count=obj["count"],
+        )
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by (name, labels)."""
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    # -- recording -------------------------------------------------------------
+
+    def inc(self, metric, amount=1, **labels):
+        key = (metric, _label_key(labels))
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def set_gauge(self, metric, value, **labels):
+        self.gauges[(metric, _label_key(labels))] = value
+
+    def observe(self, metric, value, buckets=None, **labels):
+        key = (metric, _label_key(labels))
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram(
+                bounds=tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS_MS
+            )
+        histogram.observe(value)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter_value(self, metric, **labels):
+        return self.counters.get((metric, _label_key(labels)), 0)
+
+    def gauge_value(self, metric, **labels):
+        return self.gauges.get((metric, _label_key(labels)))
+
+    def histogram_for(self, metric, **labels):
+        return self.histograms.get((metric, _label_key(labels)))
+
+    def histograms_named(self, metric):
+        """``{labels_as_tuple: histogram}`` for one metric name."""
+        return {
+            labels: histogram
+            for (name, labels), histogram in sorted(self.histograms.items())
+            if name == metric
+        }
+
+    def counters_named(self, metric):
+        return {
+            labels: value
+            for (name, labels), value in sorted(self.counters.items())
+            if name == metric
+        }
+
+    # -- merging / persistence -------------------------------------------------
+
+    def merge(self, other):
+        """Fold ``other`` (a registry or its ``to_obj`` dict) into this one."""
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_obj(other)
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        for key, value in other.gauges.items():
+            self.gauges[key] = value
+        for key, histogram in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = Histogram.from_obj(histogram.to_obj())
+            else:
+                mine.merge(histogram)
+
+    def to_obj(self):
+        def encode(key):
+            name, labels = key
+            return {"name": name, "labels": [list(pair) for pair in labels]}
+
+        return {
+            "format": _FORMAT,
+            "counters": [
+                {**encode(key), "value": value}
+                for key, value in sorted(self.counters.items())
+            ],
+            "gauges": [
+                {**encode(key), "value": value}
+                for key, value in sorted(self.gauges.items())
+            ],
+            "histograms": [
+                {**encode(key), **histogram.to_obj()}
+                for key, histogram in sorted(self.histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_obj(cls, obj):
+        if obj.get("format") != _FORMAT:
+            raise ValueError(f"unsupported metrics format: {obj.get('format')!r}")
+
+        def decode(item):
+            return (item["name"], tuple(tuple(pair) for pair in item["labels"]))
+
+        registry = cls()
+        for item in obj["counters"]:
+            registry.counters[decode(item)] = item["value"]
+        for item in obj["gauges"]:
+            registry.gauges[decode(item)] = item["value"]
+        for item in obj["histograms"]:
+            registry.histograms[decode(item)] = Histogram.from_obj(item)
+        return registry
+
+    def to_events(self):
+        """The registry as trace-file event lines (``type: "metric"``)."""
+        obj = self.to_obj()
+        events = []
+        for kind in ("counter", "gauge", "histogram"):
+            for item in obj[kind + "s"]:
+                events.append({"type": "metric", "kind": kind, **item})
+        return events

@@ -1,0 +1,190 @@
+"""Crash-safe JSONL trace sink and the trace-file schema.
+
+One trace is one ``trace.jsonl``: a ``meta`` line, span event lines in
+deterministic order, per-worker utilization lines, then the metrics
+registry flattened into ``metric`` lines.  Writes go through the same
+atomic-write/fsync machinery the checkpoints use
+(:func:`repro.core.store.write_text_atomic`), so a crash mid-flush can
+never leave a torn trace — the file is either the previous complete
+flush or the new one.
+
+The schema is a plain dict (``TRACE_SCHEMA``) mirrored verbatim at
+``tests/data/trace_schema.json``; :func:`validate_trace_lines` is the
+zero-dependency validator the ``wsinterop profile`` command runs before
+rendering anything, so CI's traced smoke proves every emitted line
+conforms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.store import write_text_atomic
+from repro.obs.trace import TRACE_FORMAT
+
+TRACE_FILENAME = "trace.jsonl"
+
+#: Required fields and their types per line type.  ``None`` in a tuple
+#: of types marks a field whose value may also be null.
+TRACE_SCHEMA = {
+    "format": TRACE_FORMAT,
+    "line_types": {
+        "meta": {
+            "format": "int",
+            "trace_id": "str",
+            "campaign": "str",
+            "workers": "int",
+            "created": "number",
+        },
+        "span": {
+            "id": "str",
+            "parent": "str",
+            "name": "str",
+            "attrs": "object",
+            "notes": "object",
+            "ms": "number",
+            "t0": "number",
+        },
+        "worker": {
+            "worker": "int",
+            "busy_pct": "number",
+            "idle_pct": "number",
+            "killed_pct": "number",
+            "units": "int",
+            "outcome": "str",
+        },
+        "metric": {
+            "kind": "str",
+            "name": "str",
+            "labels": "array",
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "int": lambda value: isinstance(value, int) and not isinstance(value, bool),
+    "str": lambda value: isinstance(value, str),
+    "number": lambda value: isinstance(value, (int, float))
+    and not isinstance(value, bool),
+    "object": lambda value: isinstance(value, dict),
+    "array": lambda value: isinstance(value, list),
+}
+
+
+class TraceValidationError(ValueError):
+    """A trace line does not conform to :data:`TRACE_SCHEMA`."""
+
+
+def validate_trace_line(obj, line_number=0):
+    """Validate one decoded JSONL line against the schema."""
+    if not isinstance(obj, dict):
+        raise TraceValidationError(f"line {line_number}: not a JSON object")
+    line_type = obj.get("type")
+    fields = TRACE_SCHEMA["line_types"].get(line_type)
+    if fields is None:
+        raise TraceValidationError(
+            f"line {line_number}: unknown line type {line_type!r}"
+        )
+    for name, type_name in fields.items():
+        if name not in obj:
+            raise TraceValidationError(
+                f"line {line_number}: {line_type} line missing field {name!r}"
+            )
+        if not _TYPE_CHECKS[type_name](obj[name]):
+            raise TraceValidationError(
+                f"line {line_number}: field {name!r} is not a {type_name}"
+            )
+
+
+def validate_trace_lines(lines):
+    """Validate a whole trace; the first line must be the meta line."""
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceValidationError(f"line {number}: not JSON: {exc}")
+        validate_trace_line(obj, number)
+        if count == 0 and obj.get("type") != "meta":
+            raise TraceValidationError("trace must start with a meta line")
+        count += 1
+    if count == 0:
+        raise TraceValidationError("trace is empty")
+    return count
+
+
+class TraceSink:
+    """Writes one trace directory; every flush is atomic."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def path(self):
+        return os.path.join(self.directory, TRACE_FILENAME)
+
+    def write(self, trace_id, campaign, events, metrics, workers=1,
+              worker_events=()):
+        """Publish the trace: meta, spans, workers, metrics — one flush."""
+        lines = [
+            {
+                "type": "meta",
+                "format": TRACE_FORMAT,
+                "trace_id": trace_id,
+                "campaign": campaign,
+                "workers": workers,
+                "created": round(time.time(), 3),
+            }
+        ]
+        lines.extend(events)
+        lines.extend(worker_events)
+        if metrics is not None:
+            lines.extend(metrics.to_events())
+        text = "\n".join(
+            json.dumps(line, sort_keys=True, separators=(",", ":"))
+            for line in lines
+        )
+        write_text_atomic(text + "\n", self.path)
+        return self.path
+
+
+def resolve_trace_path(path):
+    """Accept either a trace file or a ``--trace-dir`` directory."""
+    if os.path.isdir(path):
+        return os.path.join(path, TRACE_FILENAME)
+    return path
+
+
+def load_trace(path, validate=True):
+    """Load a trace file into ``{meta, spans, workers, metrics_events}``.
+
+    With ``validate`` (the default) every line is checked against
+    :data:`TRACE_SCHEMA` first, so downstream renderers can assume
+    shape.
+    """
+    path = resolve_trace_path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    if validate:
+        validate_trace_lines(lines)
+    trace = {"meta": None, "spans": [], "workers": [], "metrics_events": []}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj["type"] == "meta":
+            trace["meta"] = obj
+        elif obj["type"] == "span":
+            trace["spans"].append(obj)
+        elif obj["type"] == "worker":
+            trace["workers"].append(obj)
+        elif obj["type"] == "metric":
+            trace["metrics_events"].append(obj)
+    return trace

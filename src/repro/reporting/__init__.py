@@ -17,6 +17,12 @@ from repro.reporting.fuzz import (
 )
 from repro.reporting.html import render_html_report
 from repro.reporting.latex import render_fig4_latex, render_table3_latex
+from repro.reporting.profile import (
+    render_profile,
+    slowest_services,
+    stage_latency_rows,
+    worker_utilization_rows,
+)
 from repro.reporting.resilience import (
     render_client_robustness,
     render_resilience_matrix,
@@ -27,6 +33,7 @@ from repro.reporting.supervision import (
     render_pool_summary,
     supervision_rows,
     supervision_to_json,
+    worker_utilization_rows as pool_utilization_rows,
 )
 from repro.reporting.tables import (
     render_table,
@@ -46,12 +53,17 @@ __all__ = [
     "render_fig4_latex",
     "render_fuzz_matrix",
     "render_html_report",
+    "pool_utilization_rows",
     "render_pool_summary",
+    "render_profile",
     "render_quarantine",
     "render_resilience_matrix",
     "render_triage_summary",
+    "slowest_services",
+    "stage_latency_rows",
     "supervision_rows",
     "supervision_to_json",
+    "worker_utilization_rows",
     "render_table",
     "resilience_matrix_rows",
     "resilience_to_json",

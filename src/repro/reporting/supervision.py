@@ -30,6 +30,21 @@ def supervision_rows(stats):
     ]
 
 
+def worker_utilization_rows(stats):
+    """Per-worker busy/idle/killed rows from the heartbeat timeline."""
+    return [
+        (
+            row["worker"],
+            f"{row['busy_pct']:.1f}%",
+            f"{row['idle_pct']:.1f}%",
+            f"{row['killed_pct']:.1f}%",
+            row["units"],
+            row["outcome"],
+        )
+        for row in stats.worker_timeline
+    ]
+
+
 def render_pool_summary(stats):
     """ASCII summary of one supervised parallel execution."""
     out = render_table(
@@ -37,6 +52,12 @@ def render_pool_summary(stats):
         supervision_rows(stats),
         title="Parallel execution supervision",
     )
+    if stats.worker_timeline:
+        out += "\n\n" + render_table(
+            ("Worker", "Busy", "Idle", "Killed", "Units", "Outcome"),
+            worker_utilization_rows(stats),
+            title="Worker utilization",
+        )
     if stats.failures:
         rows = [
             (

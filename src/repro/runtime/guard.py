@@ -30,6 +30,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.trace import current_tracer
 from repro.wsdl.errors import WsdlError
 from repro.xmlcore.errors import XmlError, XmlLimitError
 from repro.xmlcore.parser import XmlLimits
@@ -139,13 +140,19 @@ class GuardedStep:
             )
 
     def run(self, *args, **kwargs):
-        started = time.perf_counter()
-        deadline = self.limits.deadline_seconds
-        if deadline is None:
-            outcome = self._call(args, kwargs)
-        else:
-            outcome = self._call_with_deadline(args, kwargs, deadline)
-        outcome.elapsed_seconds = time.perf_counter() - started
+        # The span opens and closes on the driving thread; an abandoned
+        # deadline thread never touches the tracer.
+        with current_tracer().span(self.name) as span:
+            started = time.perf_counter()
+            deadline = self.limits.deadline_seconds
+            if deadline is None:
+                outcome = self._call(args, kwargs)
+            else:
+                outcome = self._call_with_deadline(args, kwargs, deadline)
+            outcome.elapsed_seconds = time.perf_counter() - started
+            span.annotate(bucket=outcome.bucket.value)
+            if outcome.detail:
+                span.annotate(detail=outcome.detail)
         return outcome
 
     def _call(self, args, kwargs):

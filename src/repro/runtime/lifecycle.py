@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.outcomes import StepStatus
+from repro.obs.trace import current_tracer
 from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
 from repro.runtime.guard import INLINE_LIMITS, GuardedStep, TriageBucket
 from repro.runtime.server import EchoServiceEndpoint
@@ -78,6 +79,23 @@ def run_full_lifecycle(deployment_record, client, client_id="", transport=None,
     ``limits`` defaults to :data:`INLINE_LIMITS` (no watchdog thread);
     fuzz campaigns pass budgets with a wall-clock deadline.
     """
+    with current_tracer().span(
+        "lifecycle",
+        service=getattr(deployment_record.service, "name", ""),
+        client=client_id,
+    ) as span:
+        outcome = _run_full_lifecycle(
+            deployment_record, client, client_id=client_id,
+            transport=transport, values=values, limits=limits,
+        )
+        span.annotate(execution=outcome.execution.value)
+        if outcome.triage:
+            span.annotate(triage=outcome.triage)
+    return outcome
+
+
+def _run_full_lifecycle(deployment_record, client, client_id="", transport=None,
+                        values=None, limits=None):
     limits = limits or INLINE_LIMITS
     transport = transport or InMemoryHttpTransport()
     service_name = getattr(deployment_record.service, "name", "")

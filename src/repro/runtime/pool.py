@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 
 from repro.core import sharding
 from repro.core.store import CampaignCheckpoint, QuarantineRegistry
+from repro.obs.trace import Tracer, activate
 from repro.runtime.guard import TriageBucket, classify_exception
 
 #: Checkpoint key of the unit-level quarantine registry.  Distinct from
@@ -123,6 +124,9 @@ class PoolStats:
     #: Containments that were retried on another worker.
     reassignments: int = 0
     failures: list = field(default_factory=list)  # UnitFailure
+    #: Per-worker utilization rows: ``{"worker", "busy_pct", "idle_pct",
+    #: "killed_pct", "units", "outcome"}``, one per worker lifetime.
+    worker_timeline: list = field(default_factory=list)
     wall_seconds: float = 0.0
 
     @property
@@ -142,12 +146,13 @@ class PoolStats:
             "heartbeat_kills": self.heartbeat_kills,
             "reassignments": self.reassignments,
             "failures": [failure.to_obj() for failure in self.failures],
+            "worker_timeline": [dict(row) for row in self.worker_timeline],
             "wall_seconds": self.wall_seconds,
         }
 
 
 def _worker_main(worker_id, job, spool_dir, task_queue, result_conn,
-                 heartbeat, heartbeat_seconds):
+                 heartbeat, heartbeat_seconds, trace_id=None):
     """Child-process loop: execute assigned units until the sentinel.
 
     Payloads are saved atomically into the shard store *before* the
@@ -155,6 +160,13 @@ def _worker_main(worker_id, job, spool_dir, task_queue, result_conn,
     attempt finds the finished payload and acknowledges without
     re-executing.  Exceptions escaping a unit are triaged and reported
     as ``failed`` — the worker itself stays alive for the next unit.
+
+    When ``trace_id`` is set, each unit executes under a fresh
+    :class:`~repro.obs.trace.Tracer` and the buffered span events plus a
+    metrics snapshot ride on the ``done`` acknowledgement; the
+    supervisor's collector folds them back in canonical shard order.  A
+    worker killed mid-send only loses its own observation — the unit is
+    reassigned and re-observed like any other containment.
     """
     spool = CampaignCheckpoint(spool_dir)
     stop = threading.Event()
@@ -173,9 +185,19 @@ def _worker_main(worker_id, job, spool_dir, task_queue, result_conn,
         if unit is None:
             stop.set()
             return
+        observation = None
         try:
             if not spool.has(unit.key):
-                payload = sharding.run_unit(job, campaign, unit)
+                if trace_id is None:
+                    payload = sharding.run_unit(job, campaign, unit)
+                else:
+                    tracer = Tracer(trace_id)
+                    with activate(tracer):
+                        payload = sharding.run_unit(job, campaign, unit)
+                    observation = {
+                        "events": tracer.events,
+                        "metrics": tracer.metrics.to_obj(),
+                    }
                 spool.save(unit.key, payload)
         except Exception as exc:  # noqa: BLE001 — triaged, reported, contained
             bucket = classify_exception(exc)
@@ -184,14 +206,15 @@ def _worker_main(worker_id, job, spool_dir, task_queue, result_conn,
                 ("failed", worker_id, unit.key, bucket.value, detail[:300])
             )
         else:
-            result_conn.send(("done", worker_id, unit.key))
+            result_conn.send(("done", worker_id, unit.key, observation))
 
 
 class _WorkerHandle:
     """Supervisor-side view of one worker process."""
 
     __slots__ = ("id", "process", "task_queue", "conn", "heartbeat", "unit",
-                 "started_at")
+                 "started_at", "spawned_at", "busy_seconds", "killed_seconds",
+                 "units_done", "outcome")
 
     def __init__(self, worker_id, process, task_queue, conn, heartbeat):
         self.id = worker_id
@@ -201,6 +224,14 @@ class _WorkerHandle:
         self.heartbeat = heartbeat
         self.unit = None  # in-flight ShardUnit
         self.started_at = None
+        # Utilization timeline: lifetime splits into busy (units that
+        # finished or failed in-process), killed (the fatal in-flight
+        # unit of a dead worker) and idle (the rest).
+        self.spawned_at = time.monotonic()
+        self.busy_seconds = 0.0
+        self.killed_seconds = 0.0
+        self.units_done = 0
+        self.outcome = "retired"
 
     @property
     def busy(self):
@@ -211,20 +242,41 @@ class _WorkerHandle:
         self.started_at = time.monotonic()
         self.task_queue.put(unit)
 
-    def release(self):
+    def release(self, killed=False):
+        if self.started_at is not None:
+            elapsed = time.monotonic() - self.started_at
+            if killed:
+                self.killed_seconds += elapsed
+            else:
+                self.busy_seconds += elapsed
         self.unit = None
         self.started_at = None
+
+    def utilization_row(self):
+        lifetime = max(time.monotonic() - self.spawned_at, 1e-9)
+        idle = max(
+            lifetime - self.busy_seconds - self.killed_seconds, 0.0
+        )
+        return {
+            "worker": self.id,
+            "busy_pct": round(100.0 * self.busy_seconds / lifetime, 1),
+            "idle_pct": round(100.0 * idle / lifetime, 1),
+            "killed_pct": round(100.0 * self.killed_seconds / lifetime, 1),
+            "units": self.units_done,
+            "outcome": self.outcome,
+        }
 
 
 class _Supervisor:
     """Runs one :class:`~repro.core.sharding.ShardJob` to completion."""
 
-    def __init__(self, job, pool, spool, checkpoint, progress):
+    def __init__(self, job, pool, spool, checkpoint, progress, collector=None):
         self.job = job
         self.pool = pool
         self.spool = spool
         self.checkpoint = checkpoint
         self.progress = progress
+        self.collector = collector  # TraceCollector or None
         self.ctx = multiprocessing.get_context(
             pool.start_method or default_start_method()
         )
@@ -286,10 +338,12 @@ class _Supervisor:
         # main thread, so no lock or buffer can be orphaned by SIGKILL.
         recv_conn, send_conn = self.ctx.Pipe(duplex=False)
         heartbeat = self.ctx.Value("d", time.monotonic(), lock=False)
+        trace_id = self.collector.trace_id if self.collector else None
         process = self.ctx.Process(
             target=_worker_main,
             args=(worker_id, self.job, self.spool.directory, task_queue,
-                  send_conn, heartbeat, self.pool.heartbeat_seconds),
+                  send_conn, heartbeat, self.pool.heartbeat_seconds,
+                  trace_id),
             name=f"pool-worker-{worker_id}",
             daemon=True,
         )
@@ -304,6 +358,7 @@ class _Supervisor:
 
     def _discard(self, handle):
         """Forget a dead worker (its process object is already joined)."""
+        self.stats.worker_timeline.append(handle.utilization_row())
         with contextlib.suppress(OSError):
             handle.conn.close()
         self.workers.pop(handle.id, None)
@@ -364,7 +419,7 @@ class _Supervisor:
     def _contain_worker_loss(self, handle, bucket, detail):
         """A busy worker is gone; rescue or requeue its in-flight unit."""
         unit = handle.unit
-        handle.release()
+        handle.release(killed=True)
         if unit is None or unit.key in self.completed:
             return
         if self.spool.has(unit.key):
@@ -381,9 +436,12 @@ class _Supervisor:
         handle = self.workers.get(worker_id)
         if kind == "done":
             unit_key = message[2]
+            if self.collector is not None and len(message) > 3:
+                self.collector.collect(unit_key, message[3])
             self.completed.add(unit_key)
             if handle is not None and handle.unit is not None \
                     and handle.unit.key == unit_key:
+                handle.units_done += 1
                 handle.release()
             if self.progress:
                 self.progress(
@@ -420,6 +478,7 @@ class _Supervisor:
             # next unit must not have its finished unit contained.
             self._drain_conn(handle)
             self.stats.worker_deaths += 1
+            handle.outcome = "died"
             if handle.busy:
                 self._contain_worker_loss(
                     handle,
@@ -453,6 +512,7 @@ class _Supervisor:
             self._kill(handle)
             self._drain_conn(handle)
             self.stats.worker_deaths += 1
+            handle.outcome = "killed"
             self._contain_worker_loss(handle, bucket, detail)
             self._discard(handle)
 
@@ -532,7 +592,8 @@ class _Supervisor:
         self.stats.units_completed = len(self.completed)
 
 
-def execute_sharded(job, pool=None, checkpoint=None, progress=None):
+def execute_sharded(job, pool=None, checkpoint=None, progress=None,
+                    collector=None):
     """Execute ``job``'s shard units under a supervised worker pool.
 
     Returns ``(result, stats)``.  ``checkpoint`` doubles as the shard
@@ -540,6 +601,11 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None):
     keys, so both worker loss and a hard kill of the supervisor resume
     exactly.  Without a checkpoint a temporary spool directory plays
     that role for the duration of the call.
+
+    ``collector`` is an optional
+    :class:`~repro.obs.trace.TraceCollector`: workers then trace each
+    unit and the collector is finalized here against exactly the units
+    the merge consumed, so the trace always describes the merged result.
     """
     pool = pool or PoolConfig()
     if pool.workers < 1:
@@ -552,10 +618,13 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None):
         spool_dir = tempfile.mkdtemp(prefix="wsinterop-shards-")
         spool, owns_spool = CampaignCheckpoint(spool_dir), True
     try:
-        supervisor = _Supervisor(job, pool, spool, checkpoint, progress)
+        supervisor = _Supervisor(
+            job, pool, spool, checkpoint, progress, collector=collector
+        )
         units = supervisor.plan()
         supervisor.run()
         stats = supervisor.stats
+        stats.worker_timeline.sort(key=lambda row: row["worker"])
         payloads = {
             unit.key: spool.load(unit.key)
             for unit in units
@@ -563,6 +632,25 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None):
         }
         result = job.merge(payloads, poisoned=supervisor.poisoned)
         stats.wall_seconds = round(time.monotonic() - started, 3)
+        if collector is not None:
+            contributing = []
+            for unit in units:
+                payload = payloads.get(unit.key)
+                if payload is None or unit.key in supervisor.poisoned:
+                    continue
+                contributing.append(unit)
+                if isinstance(payload, dict) and not payload.get(
+                    "finished", True
+                ):
+                    # Mirrors the merge's fail-fast truncation: later
+                    # units' events must not describe discarded payloads.
+                    break
+            collector.finalize(
+                contributing, wall_seconds=stats.wall_seconds
+            )
+            collector.worker_events = [
+                {"type": "worker", **row} for row in stats.worker_timeline
+            ]
         return result, stats
     finally:
         if owns_spool:

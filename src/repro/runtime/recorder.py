@@ -9,19 +9,26 @@ a tiny message-conformance check in that spirit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from repro.obs.trace import current_tracer
 from repro.soap.envelope import parse_envelope
 
 
 @dataclass
 class Exchange:
-    """One request/response pair seen on the wire."""
+    """One request/response pair seen on the wire.
+
+    ``span_id`` is the trace span that was open on the driving thread
+    when the request was posted (empty when tracing is off), so a saved
+    wire capture can be joined against a ``--trace-dir`` trace.
+    """
 
     url: str
     request_body: str
     response_status: int
     response_body: str
+    span_id: str = ""
 
     @property
     def ok(self):
@@ -49,6 +56,7 @@ class TransportRecorder:
                 request_body=body,
                 response_status=response.status,
                 response_body=response.body,
+                span_id=current_tracer().current_span_id,
             )
         )
         return response
@@ -56,6 +64,16 @@ class TransportRecorder:
     @property
     def requests_sent(self):
         return getattr(self.inner, "requests_sent", len(self.exchanges))
+
+    def save(self, path):
+        """Flush the capture crash-safely (atomic write + rename)."""
+        from repro.core.store import write_json_atomic
+
+        write_json_atomic(
+            {"exchanges": [asdict(exchange) for exchange in self.exchanges]},
+            path,
+        )
+        return path
 
 
 def check_exchange(exchange):

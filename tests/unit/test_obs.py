@@ -1,0 +1,309 @@
+"""Unit coverage of the observability layer.
+
+Span identity must be a pure function of logical coordinates, metrics
+must merge to the same counts in any order, the sink must reject
+malformed traces, and the collector must reassemble per-unit streams
+into the serial emission order.
+"""
+
+import json
+
+import pytest
+
+from repro.core.store import write_json_atomic
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    NULL_TRACER,
+    NullTracer,
+    TraceSink,
+    TraceValidationError,
+    Tracer,
+    activate,
+    current_tracer,
+    load_trace,
+    root_span_id,
+    server_span_id,
+    span_id_for,
+    trace_id_for,
+    validate_trace_lines,
+)
+from repro.obs.sink import TRACE_SCHEMA
+from repro.runtime.recorder import TransportRecorder
+
+
+class TestSpanIdentity:
+    def test_trace_id_excludes_nothing_but_campaign_and_config(self):
+        assert trace_id_for("run", "abc") == trace_id_for("run", "abc")
+        assert trace_id_for("run", "abc") != trace_id_for("fuzz", "abc")
+        assert trace_id_for("run", "abc") != trace_id_for("run", "abd")
+
+    def test_span_id_is_pure_function_of_coordinates(self):
+        first = span_id_for("p", "test", {"client": "axis2", "server": "metro"})
+        second = span_id_for("p", "test", {"server": "metro", "client": "axis2"})
+        assert first == second  # attr order must not matter
+        assert first != span_id_for("q", "test", {"client": "axis2"})
+        assert first != span_id_for("p", "cell", {"client": "axis2"})
+
+    def test_server_span_id_computable_without_executing(self):
+        trace_id = trace_id_for("run", "cfg")
+        tracer = Tracer(trace_id)
+        with tracer.span("server", server="metro") as span:
+            observed = span.span_id
+        assert observed == server_span_id(trace_id, "metro")
+
+    def test_durations_never_enter_the_id(self):
+        tracer = Tracer("t")
+        with tracer.span("test", client="cxf") as span:
+            span.annotate(bucket="clean", ms_ish=123.4)
+        event = tracer.events[0]
+        assert event["id"] == span_id_for(
+            root_span_id("t"), "test", {"client": "cxf"}
+        )
+        assert event["notes"] == {"bucket": "clean", "ms_ish": 123.4}
+
+
+class TestTracer:
+    def test_events_emitted_in_post_order_with_parent_edges(self):
+        tracer = Tracer("t")
+        with tracer.span("server", server="metro") as server:
+            with tracer.span("service", service="EchoA") as service:
+                with tracer.span("wsdl-read"):
+                    pass
+        names = [event["name"] for event in tracer.events]
+        assert names == ["wsdl-read", "service", "server"]
+        by_name = {event["name"]: event for event in tracer.events}
+        assert by_name["wsdl-read"]["parent"] == service.span_id
+        assert by_name["service"]["parent"] == server.span_id
+        assert by_name["server"]["parent"] == root_span_id("t")
+
+    def test_virtual_span_positions_children_but_never_emits(self):
+        tracer = Tracer("t")
+        with tracer.virtual_span("server", server="metro") as virtual:
+            with tracer.span("service", service="EchoA"):
+                pass
+        names = [event["name"] for event in tracer.events]
+        assert names == ["service"]
+        assert tracer.events[0]["parent"] == virtual.span_id
+        assert virtual.span_id == server_span_id("t", "metro")
+
+    def test_emit_root_closes_the_trace(self):
+        tracer = Tracer("t")
+        with tracer.span("server", server="metro"):
+            pass
+        tracer.emit_root(finished=True)
+        root = tracer.events[-1]
+        assert root["name"] == "campaign"
+        assert root["id"] == root_span_id("t")
+        assert root["parent"] == ""
+        assert root["notes"] == {"finished": True}
+
+    def test_metrics_fed_per_step_and_per_pair(self):
+        tracer = Tracer("t")
+        with tracer.span("server", server="metro"):
+            with tracer.span("test", client="cxf") as span:
+                span.annotate(bucket="clean")
+        metrics = tracer.metrics
+        tracer.flush()
+        assert metrics.counter_value("spans_total", name="test") == 1
+        assert metrics.histogram_for("span_ms", name="test").count == 1
+        assert metrics.histogram_for(
+            "pair_ms", server="metro", client="cxf"
+        ).count == 1
+        assert metrics.counter_value("triage_total", bucket="clean") == 1
+
+    def test_flush_is_idempotent(self):
+        tracer = Tracer("t")
+        with tracer.span("test", client="cxf"):
+            pass
+        first = list(tracer.events)
+        assert list(tracer.events) == first
+        assert tracer.metrics.counter_value("spans_total", name="test") == 1
+
+    def test_current_span_id_tracks_the_open_chain(self):
+        tracer = Tracer("t")
+        assert tracer.current_span_id == root_span_id("t")
+        with tracer.span("server", server="metro") as outer:
+            assert tracer.current_span_id == outer.span_id
+            with tracer.span("test", client="cxf") as inner:
+                assert tracer.current_span_id == inner.span_id
+            assert tracer.current_span_id == outer.span_id
+        assert tracer.current_span_id == root_span_id("t")
+
+    def test_activate_installs_and_restores(self):
+        assert current_tracer() is NULL_TRACER
+        tracer = Tracer("t")
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        with null.span("test", client="cxf") as span:
+            span.annotate(bucket="clean")
+        assert span.span_id == ""
+        assert null.current_span_id == ""
+
+
+class TestMetrics:
+    def test_histogram_buckets_and_quantiles(self):
+        histogram = Histogram()
+        for value in (0.04, 0.2, 3.0, 40.0, 99999.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(100042.24)
+        assert histogram.quantile(0.0) >= 0.0
+        # the overflow observation clamps to the largest finite bound
+        assert histogram.quantile(1.0) == DEFAULT_LATENCY_BUCKETS_MS[-1]
+
+    def test_histogram_bucket_boundary_is_inclusive(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_histogram_merge_equals_single_stream(self):
+        values = [0.1, 0.9, 4.0, 77.0, 300.0, 8000.0]
+        merged = Histogram()
+        left, right = Histogram(), Histogram()
+        for index, value in enumerate(values):
+            merged.observe(value)
+            (left if index % 2 else right).observe(value)
+        left.merge(right)
+        assert left.counts == merged.counts
+        assert left.count == merged.count
+
+    def test_histogram_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_registry_roundtrip_and_merge(self):
+        first = MetricsRegistry()
+        first.inc("spans_total", name="test")
+        first.set_gauge("workers", 2)
+        first.observe("span_ms", 3.0, name="test")
+        second = MetricsRegistry()
+        second.inc("spans_total", 2, name="test")
+        second.observe("span_ms", 40.0, name="test")
+
+        merged = MetricsRegistry()
+        merged.merge(first.to_obj())  # dict form, as shipped over the pipe
+        merged.merge(second)
+        assert merged.counter_value("spans_total", name="test") == 3
+        assert merged.gauge_value("workers") == 2
+        assert merged.histogram_for("span_ms", name="test").count == 2
+
+    def test_registry_to_events_are_metric_lines(self):
+        registry = MetricsRegistry()
+        registry.inc("triage_total", bucket="clean")
+        registry.observe("span_ms", 1.0, name="test")
+        events = registry.to_events()
+        assert {event["type"] for event in events} == {"metric"}
+        assert {event["kind"] for event in events} == {"counter", "histogram"}
+
+
+class TestSink:
+    def _write_one(self, tmp_path):
+        tracer = Tracer(trace_id_for("run", "cfg"))
+        with tracer.span("server", server="metro"):
+            with tracer.span("test", client="cxf"):
+                pass
+        tracer.emit_root()
+        sink = TraceSink(tmp_path / "trace")
+        return sink.write(
+            tracer.trace_id, "run", tracer.events, tracer.metrics,
+            workers=1,
+            worker_events=[{
+                "type": "worker", "worker": 1, "busy_pct": 99.0,
+                "idle_pct": 1.0, "killed_pct": 0.0, "units": 3,
+                "outcome": "retired",
+            }],
+        )
+
+    def test_write_then_load_roundtrip(self, tmp_path):
+        path = self._write_one(tmp_path)
+        trace = load_trace(path)
+        assert trace["meta"]["campaign"] == "run"
+        assert [span["name"] for span in trace["spans"]] == [
+            "test", "server", "campaign"
+        ]
+        assert trace["workers"][0]["outcome"] == "retired"
+        assert any(
+            event["name"] == "span_ms" for event in trace["metrics_events"]
+        )
+
+    def test_load_accepts_directory(self, tmp_path):
+        self._write_one(tmp_path)
+        assert load_trace(tmp_path / "trace")["meta"]["workers"] == 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceValidationError, match="empty"):
+            validate_trace_lines([])
+
+    def test_first_line_must_be_meta(self):
+        line = json.dumps({
+            "type": "span", "id": "a", "parent": "", "name": "x",
+            "attrs": {}, "notes": {}, "ms": 1.0, "t0": 0.0,
+        })
+        with pytest.raises(TraceValidationError, match="meta"):
+            validate_trace_lines([line])
+
+    def test_unknown_line_type_rejected(self):
+        with pytest.raises(TraceValidationError, match="unknown line type"):
+            validate_trace_lines([json.dumps({"type": "bogus"})])
+
+    def test_missing_field_and_wrong_type_rejected(self, tmp_path):
+        path = self._write_one(tmp_path)
+        lines = open(path).read().splitlines()
+        meta = json.loads(lines[0])
+        del meta["trace_id"]
+        with pytest.raises(TraceValidationError, match="trace_id"):
+            validate_trace_lines([json.dumps(meta)] + lines[1:])
+        meta = json.loads(lines[0])
+        meta["workers"] = "two"
+        with pytest.raises(TraceValidationError, match="workers"):
+            validate_trace_lines([json.dumps(meta)] + lines[1:])
+
+    def test_schema_mirror_in_tests_data_is_in_sync(self):
+        import os
+
+        mirror_path = os.path.join(
+            os.path.dirname(__file__), "..", "data", "trace_schema.json"
+        )
+        with open(mirror_path, encoding="utf-8") as handle:
+            assert json.load(handle) == TRACE_SCHEMA
+
+
+class TestRecorderIntegration:
+    class _Response:
+        status = 200
+        body = "<ok/>"
+
+    class _Transport:
+        def post(self, url, body, headers=None):
+            return TestRecorderIntegration._Response()
+
+    def test_exchange_carries_enclosing_span_id(self):
+        recorder = TransportRecorder(self._Transport())
+        recorder.post("http://svc", "<r/>")
+        assert recorder.exchanges[0].span_id == ""  # untraced
+        tracer = Tracer("t")
+        with activate(tracer):
+            with tracer.span("invoke", service="EchoA") as span:
+                recorder.post("http://svc", "<r/>")
+        assert recorder.exchanges[1].span_id == span.span_id
+
+    def test_save_flushes_atomically(self, tmp_path):
+        recorder = TransportRecorder(self._Transport())
+        recorder.post("http://svc", "<r/>")
+        path = recorder.save(tmp_path / "capture.json")
+        data = json.load(open(path))
+        assert data["exchanges"][0]["url"] == "http://svc"
+        assert "span_id" in data["exchanges"][0]
+
+    def test_write_json_atomic_still_used_by_checkpoints(self, tmp_path):
+        # the recorder reuses the checkpoint machinery; a plain object
+        # written through it must be readable json
+        target = tmp_path / "obj.json"
+        write_json_atomic({"a": 1}, target)
+        assert json.load(open(target)) == {"a": 1}
