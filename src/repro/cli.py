@@ -567,6 +567,89 @@ def cmd_fuzz(args):
     return 0
 
 
+def cmd_invoke(args):
+    from repro.invoke import (
+        InvocationCampaign,
+        InvocationCampaignConfig,
+        PayloadClass,
+    )
+    from repro.reporting import (
+        invoke_to_json,
+        render_fidelity_summary,
+        render_gate_summary,
+        render_invoke_matrix,
+        render_quarantine,
+    )
+
+    try:
+        if args.classes:
+            classes = tuple(
+                PayloadClass(cls.strip()) for cls in args.classes.split(",")
+            )
+        else:
+            classes = tuple(PayloadClass)
+    except ValueError:
+        valid = ", ".join(cls.value for cls in PayloadClass)
+        print(f"error: unknown payload class in {args.classes!r}; "
+              f"valid classes: {valid}", file=sys.stderr)
+        return 2
+    config = InvocationCampaignConfig(
+        base=_config_from(args),
+        seed=args.seed,
+        payload_classes=classes,
+        payloads_per_class=args.payloads,
+        sample_per_server=args.sample,
+        deadline_seconds=args.deadline,
+        service_filter=args.services or "",
+    )
+    campaign = InvocationCampaign(config)
+    started = time.time()
+    progress = _progress if args.verbose else None
+    checkpoint = _checkpoint_from(args)
+    trace = _make_trace(args, "invoke", config.fingerprint())
+    if args.workers > 1:
+        from repro.runtime.pool import execute_sharded
+
+        collector = _pool_collector(trace)
+        result, stats = execute_sharded(
+            campaign.shard_job(), _pool_config_from(args),
+            checkpoint=checkpoint, progress=progress, collector=collector,
+        )
+        _print_pool_summary(stats)
+        _write_pool_trace(trace, collector, args.workers)
+    else:
+        result = _run_traced_serial(
+            trace,
+            lambda: campaign.run(progress=progress, checkpoint=checkpoint),
+        )
+    print(f"invocation sweep finished in {time.time() - started:.1f}s",
+          file=sys.stderr)
+    if not result.services_matched and config.service_filter:
+        print(f"no deployed service matches --services "
+              f"{config.service_filter!r}; nothing was invoked",
+              file=sys.stderr)
+    print(render_invoke_matrix(result, only_failing=args.only_failing))
+    print()
+    print(render_fidelity_summary(result))
+    print()
+    print(render_gate_summary(result))
+    print()
+    print(render_quarantine(result))
+    totals = result.totals()
+    print()
+    for key, value in totals.items():
+        print(f"{key}: {value}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(invoke_to_json(result))
+        print(f"JSON written to {args.json}", file=sys.stderr)
+    if result.unclassified_total:
+        print(f"error: {result.unclassified_total} invocations escaped "
+              "with unclassified errors", file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_matrix(args):
     from repro.core.matrix import render_matrix
 
@@ -799,6 +882,52 @@ def build_parser():
     )
     _add_pool_arguments(fuzz_parser)
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    invoke_parser = sub.add_parser(
+        "invoke",
+        help="step-4 invocation sweep: schema-derived payloads through "
+        "the live echo path (round-trip fidelity matrices)",
+    )
+    invoke_parser.add_argument("--quick", action="store_true",
+                               help="small corpora")
+    invoke_parser.add_argument("--verbose", action="store_true")
+    invoke_parser.add_argument(
+        "--seed", type=int, default=20140622,
+        help="payload seed (same seed = byte-identical matrices)",
+    )
+    invoke_parser.add_argument(
+        "--sample", type=int, default=6,
+        help="deployed services per server driven through the sweep",
+    )
+    invoke_parser.add_argument(
+        "--classes",
+        help="comma-separated payload classes (default: all six); e.g. "
+        "numeric-boundary,string-edge,nil",
+    )
+    invoke_parser.add_argument(
+        "--payloads", type=int, default=2,
+        help="payloads per (service, class) combination",
+    )
+    invoke_parser.add_argument(
+        "--services", metavar="PATTERN",
+        help="fnmatch pattern narrowing the swept service names",
+    )
+    invoke_parser.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="wall-clock seconds allowed per guarded invocation",
+    )
+    invoke_parser.add_argument(
+        "--only-failing", action="store_true",
+        help="print only matrix rows with non-lossless round trips",
+    )
+    invoke_parser.add_argument("--json", help="write the fidelity matrices here")
+    invoke_parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint each completed server here; re-run to resume "
+        "(quarantined cells stay quarantined)",
+    )
+    _add_pool_arguments(invoke_parser)
+    invoke_parser.set_defaults(func=cmd_invoke)
 
     matrix_parser = sub.add_parser(
         "matrix", help="print the interoperability verdict grid"

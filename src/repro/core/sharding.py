@@ -1,7 +1,8 @@
 """Deterministic sharding of campaign sweeps into isolated work units.
 
-The three sweeps — the plain assessment campaign, the resilience sweep
-and the corruption fuzz — are embarrassingly parallel, but a parallel
+The four sweeps — the plain assessment campaign, the resilience sweep,
+the corruption fuzz and the invocation sweep — are embarrassingly
+parallel, but a parallel
 run is only useful if it is *indistinguishable* from the serial one.
 This module owns both halves of that contract:
 
@@ -31,6 +32,7 @@ from dataclasses import dataclass
 CAMPAIGN_RUN = "run"
 CAMPAIGN_RESILIENCE = "resilience"
 CAMPAIGN_FUZZ = "fuzz"
+CAMPAIGN_INVOKE = "invoke"
 
 #: Default service-chunk count per server for the plain campaign.  Part
 #: of the checkpoint fingerprint: changing it re-shards the sweep.
@@ -99,7 +101,7 @@ class ShardJob:
 
     def __post_init__(self):
         if self.campaign not in (
-            CAMPAIGN_RUN, CAMPAIGN_RESILIENCE, CAMPAIGN_FUZZ
+            CAMPAIGN_RUN, CAMPAIGN_RESILIENCE, CAMPAIGN_FUZZ, CAMPAIGN_INVOKE
         ):
             raise ValueError(f"unknown campaign kind {self.campaign!r}")
         if self.chunks_per_server < 1:
@@ -135,6 +137,10 @@ class ShardJob:
             from repro.faults.campaign import ResilienceCampaign
 
             return ResilienceCampaign(self.config)
+        if self.campaign == CAMPAIGN_INVOKE:
+            from repro.invoke.campaign import InvocationCampaign
+
+            return InvocationCampaign(self.config)
         from repro.faults.campaign import FuzzCampaign
 
         return FuzzCampaign(self.config)
@@ -179,6 +185,8 @@ class ShardJob:
             return _merge_run(self.config, ordered)
         if self.campaign == CAMPAIGN_RESILIENCE:
             return _merge_resilience(self.config, ordered)
+        if self.campaign == CAMPAIGN_INVOKE:
+            return _merge_invoke(self.config, ordered)
         return _merge_fuzz(self.config, ordered)
 
 
@@ -273,5 +281,36 @@ def _merge_fuzz(fconfig, ordered):
             # already) are discarded for byte-identity.
             result.aborted = True
             break
+    result.quarantine = registry.entries()
+    return result
+
+
+def _merge_invoke(iconfig, ordered):
+    from repro.core.store import QuarantineRegistry
+    from repro.invoke.campaign import (
+        InvocationCampaignResult,
+        InvocationCellStats,
+    )
+    from repro.invoke.payloads import PayloadClass
+
+    result = InvocationCampaignResult(
+        server_ids=tuple(iconfig.base.server_ids),
+        client_ids=tuple(iconfig.base.client_ids),
+        payload_classes=tuple(
+            PayloadClass(cls).value for cls in iconfig.payload_classes
+        ),
+        seed=iconfig.seed,
+    )
+    registry = QuarantineRegistry()
+    for unit, data in ordered:
+        result.services_per_server[unit.server_id] = data["services"]
+        for key, value in data["gates"].items():
+            result.gates[key] = dict(value)
+        for key, cell in data["cells"].items():
+            result.cells[tuple(key.split("|"))] = (
+                InvocationCellStats.from_obj(cell)
+            )
+        for entry in data["quarantine"]:
+            registry.poison(*entry)
     result.quarantine = registry.entries()
     return result

@@ -1,0 +1,183 @@
+"""Round-trip fidelity triage for step-4 invocations.
+
+The taxonomy is **total**: every invocation lands in exactly one of
+
+``LOSSLESS``
+    The decoded response equals the sent payload, byte for byte.
+``COERCED``
+    The value survived but changed representation — a single-item list
+    collapsed to a scalar, an empty list decoded as an absent element,
+    or a literal was rewritten to a value-space-equal form (``+07`` →
+    ``7``).
+``CORRUPTED``
+    Silent data loss or mutation: fields vanished or appeared, ``nil``
+    flattened to an empty string, or a value came back different.
+``FAULT``
+    The exchange itself failed — SOAP fault, transport error, or the
+    guard killed the invocation (timeout / resource blowup).
+``CLIENT_REJECT``
+    The generated client refused to send or could not decode the
+    response (missing method, malformed envelope, empty body).
+
+Failures that fit none of these raise the campaign's unclassified
+counter, which the acceptance gate requires to be zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.runtime.client import (
+    ClientHttpError,
+    ClientInvocationError,
+    ClientSoapFaultError,
+)
+from repro.runtime.guard import FATAL_BUCKETS, TriageBucket
+from repro.runtime.transport import TransportError
+from repro.xsd.lexical import value_equal
+
+
+class Fidelity(Enum):
+    """Round-trip fidelity classes, best first."""
+
+    LOSSLESS = "lossless"
+    COERCED = "coerced"
+    CORRUPTED = "corrupted"
+    FAULT = "fault"
+    CLIENT_REJECT = "client-reject"
+
+
+#: Severity rank used to keep the worst observation per comparison.
+_RANK = {
+    Fidelity.LOSSLESS: 0,
+    Fidelity.COERCED: 1,
+    Fidelity.CORRUPTED: 2,
+}
+
+
+@dataclass
+class Triage:
+    """One classified invocation."""
+
+    fidelity: Fidelity
+    detail: str = ""
+    #: Poison the (server, service, client, payload-class) cell.
+    fatal: bool = False
+    #: The failure escaped the taxonomy (counts against acceptance).
+    unclassified: bool = False
+
+
+def compare_roundtrip(sent, received, fields=None):
+    """Triage a completed echo round trip.
+
+    ``fields`` maps field name → :class:`FieldShape` so scalar
+    mismatches can be re-checked in the value space of their XSD type
+    before being declared corruption.
+    """
+    fields = fields or {}
+    if sent == received:
+        return Triage(Fidelity.LOSSLESS)
+    if not sent and received in ({}, {"return": ""}):
+        # A fully-empty request decodes as an empty return slot; no
+        # value existed to lose.
+        return Triage(Fidelity.COERCED, "empty request collapsed")
+    worst = Triage(Fidelity.LOSSLESS)
+    for name in sent:
+        shape = fields.get(name)
+        local = shape.xsd_local if shape is not None else "string"
+        if name not in received:
+            if isinstance(sent[name], list) and not sent[name]:
+                candidate = Triage(
+                    Fidelity.COERCED, f"{name}: empty list became absent"
+                )
+            else:
+                candidate = Triage(
+                    Fidelity.CORRUPTED, f"{name}: field lost in transit"
+                )
+        else:
+            candidate = _compare_value(name, local, sent[name], received[name])
+        worst = _worse(worst, candidate)
+    for name in received:
+        if name not in sent:
+            worst = _worse(worst, Triage(
+                Fidelity.CORRUPTED, f"{name}: unexpected field in response"
+            ))
+    if worst.fidelity is Fidelity.LOSSLESS:
+        # Dictionaries differ but no field-level difference surfaced —
+        # never silently call that lossless.
+        return Triage(Fidelity.COERCED, "payload reshaped without field diff")
+    return worst
+
+
+def _compare_value(name, local, sent, received):
+    if sent == received:
+        return Triage(Fidelity.LOSSLESS)
+    if isinstance(sent, list):
+        if len(sent) == 1 and not isinstance(received, list):
+            inner = _compare_value(name, local, sent[0], received)
+            if inner.fidelity in (Fidelity.LOSSLESS, Fidelity.COERCED):
+                return Triage(
+                    Fidelity.COERCED,
+                    f"{name}: single-item list collapsed to scalar",
+                )
+            return inner
+        if not isinstance(received, list) or len(sent) != len(received):
+            return Triage(
+                Fidelity.CORRUPTED, f"{name}: occurrence count changed"
+            )
+        worst = Triage(Fidelity.LOSSLESS)
+        for index, (a, b) in enumerate(zip(sent, received)):
+            worst = _worse(
+                worst, _compare_value(f"{name}[{index}]", local, a, b)
+            )
+        if worst.fidelity is Fidelity.LOSSLESS:
+            return Triage(Fidelity.COERCED, f"{name}: list reshaped")
+        return worst
+    if isinstance(received, list):
+        return Triage(Fidelity.CORRUPTED, f"{name}: scalar became a list")
+    if sent is None or received is None:
+        # One side nil, the other a value (often "")—the nil marker was
+        # flattened, which is indistinguishable from data loss.
+        return Triage(Fidelity.CORRUPTED, f"{name}: nil flattened")
+    if isinstance(sent, dict) or isinstance(received, dict):
+        if isinstance(sent, dict) and isinstance(received, dict):
+            return compare_roundtrip(sent, received)
+        return Triage(Fidelity.CORRUPTED, f"{name}: structure changed")
+    if value_equal(local, sent, received):
+        return Triage(
+            Fidelity.COERCED,
+            f"{name}: literal rewritten ({sent!r} -> {received!r})",
+        )
+    return Triage(
+        Fidelity.CORRUPTED,
+        f"{name}: value changed ({sent!r} -> {received!r})",
+    )
+
+
+def _worse(a, b):
+    return b if _RANK[b.fidelity] > _RANK[a.fidelity] else a
+
+
+def classify_failure(verdict):
+    """Triage a failed invoke :class:`GuardVerdict`.
+
+    Exception type is checked **before** the triage bucket: the guard's
+    generic classifier maps :class:`ClientInvocationError` to
+    ``tool-internal``, but for the data plane a SOAP fault is a FAULT
+    and a stub-level refusal is CLIENT_REJECT, neither of them fatal.
+    """
+    exc = verdict.exception
+    if isinstance(exc, (ClientSoapFaultError, ClientHttpError, TransportError)):
+        return Triage(Fidelity.FAULT, str(exc))
+    if isinstance(exc, ClientInvocationError):
+        return Triage(Fidelity.CLIENT_REJECT, str(exc))
+    detail = f"[{verdict.bucket.value}] {verdict.detail}"
+    if verdict.bucket in (TriageBucket.PARSER_CRASH, TriageBucket.RESOURCE_BLOWUP):
+        return Triage(Fidelity.FAULT, detail)
+    if verdict.bucket in FATAL_BUCKETS:
+        unclassified = verdict.bucket is TriageBucket.TOOL_INTERNAL
+        return Triage(
+            Fidelity.FAULT, detail, fatal=True, unclassified=unclassified
+        )
+    return Triage(Fidelity.FAULT, detail, fatal=True, unclassified=True)

@@ -1,0 +1,346 @@
+"""Schema-guided test payload generation for step-4 invocation sweeps.
+
+Every payload is derived from the *service description itself*: the
+generator resolves the document/literal wrapper element down to the
+parameter type's element particles and builds value dictionaries that
+are valid against that schema — boundary literals for the numeric
+built-ins, empty/whitespace/unicode strings, occurs-bound lists for
+repeated elements, omission of optional elements, ``xsi:nil`` for
+nillable ones.  Generation is fully seeded: the same seed, service and
+class always produce byte-identical payloads, which is what makes the
+fidelity matrix diffable across runs and shard-merge byte-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from enum import Enum
+from random import Random
+
+from repro.faults.plan import derive_seed
+from repro.xsd.builtins import is_builtin
+from repro.xsd.lexical import boundary_literals, is_numeric
+
+
+class PayloadClass(Enum):
+    """The payload families the campaign sweeps, in report order."""
+
+    BASELINE = "baseline"
+    NUMERIC_BOUNDARY = "numeric-boundary"
+    STRING_EDGE = "string-edge"
+    OCCURS_BOUNDS = "occurs-bounds"
+    OPTIONAL_OMISSION = "optional-omission"
+    NIL = "nil"
+
+
+DEFAULT_CLASSES = tuple(PayloadClass)
+
+#: Baseline lexical value per XSD built-in; integer types default "7".
+_BASELINE_BY_XSD = {
+    "string": "sample",
+    "normalizedString": "sample",
+    "token": "sample",
+    "boolean": "true",
+    "dateTime": "2014-06-22T10:30:00Z",
+    "date": "2014-06-22",
+    "time": "10:30:00",
+    "anyURI": "urn:example:sample",
+    "QName": "tns:sample",
+    "base64Binary": "c2FtcGxl",
+    "hexBinary": "73616d706c65",
+    "duration": "PT5M",
+    "decimal": "3.14",
+    "float": "1.5",
+    "double": "2.5",
+}
+
+#: String edge cases.  All are valid ``xsd:string`` literals and legal
+#: XML character data (no control characters, no lone surrogates).
+STRING_EDGES = (
+    "",
+    " ",
+    "  leading and trailing  ",
+    "héllo wörld",
+    "日本語テキスト",
+    "\U0001d54a\U0001d560pplementary",
+    "line\nbreak",
+    "tab\tseparated",
+    "<tag>&amp;</tag>",
+    "x" * 256,
+)
+
+
+@dataclass(frozen=True)
+class FieldShape:
+    """One element particle of the parameter type, flattened."""
+
+    name: str
+    xsd_local: str
+    enumerations: tuple = ()
+    repeated: bool = False
+    optional: bool = False
+    nillable: bool = False
+
+
+@dataclass
+class TestPayload:
+    """One generated invocation payload."""
+
+    payload_class: PayloadClass
+    index: int
+    values: dict
+
+    @property
+    def label(self):
+        return f"{self.payload_class.value}-{self.index}"
+
+    @property
+    def digest(self):
+        canonical = json.dumps(self.values, sort_keys=True, ensure_ascii=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def request_shape(document):
+    """Flatten the request wrapper of ``document`` into field shapes.
+
+    Follows the document/literal-wrapped convention: operation → input
+    message → global wrapper element → ``input`` particle → parameter
+    type.  Returns ``()`` when the parameter type has no resolvable
+    element particles (enums, scalar built-ins, foreign types) — the
+    generator then falls back to the echoable ``{"state": ...}`` shape
+    the lifecycle step uses.
+    """
+    if not document.operations:
+        return ()
+    operation = document.operations[0]
+    message = document.message(operation.input_message)
+    if message is None:
+        return ()
+    wrapper = document.global_element(message.element)
+    if wrapper is None:
+        return ()
+    ctype = wrapper.inline_type
+    if ctype is None and wrapper.type_name is not None:
+        ctype = _named_complex(document, wrapper.type_name)
+    if ctype is None or not ctype.particles:
+        return ()
+    param_ref = None
+    for particle in ctype.particles:
+        if getattr(particle, "name", None) == "input":
+            param_ref = particle.type_name
+            break
+    if param_ref is None or is_builtin(param_ref):
+        return ()
+    param_type = _named_complex(document, param_ref)
+    if param_type is None:
+        return ()
+    fields = []
+    for particle in param_type.particles:
+        name = getattr(particle, "name", None)
+        type_name = getattr(particle, "type_name", None)
+        if name is None or type_name is None:
+            continue  # ref/any wildcards carry no generatable value
+        local, enums = _resolve_simple(document, type_name)
+        fields.append(
+            FieldShape(
+                name=name,
+                xsd_local=local,
+                enumerations=enums,
+                repeated=particle.max_occurs is None or particle.max_occurs > 1,
+                optional=particle.min_occurs == 0,
+                nillable=particle.nillable,
+            )
+        )
+    return tuple(fields)
+
+
+def _named_complex(document, qname):
+    schema = document.schema_for(qname.namespace)
+    if schema is None:
+        return None
+    return schema.complex_type(qname.local)
+
+
+def _resolve_simple(document, type_name):
+    """Resolve a particle type to (xsd builtin local, enumerations)."""
+    if is_builtin(type_name):
+        return type_name.local, ()
+    schema = document.schema_for(type_name.namespace)
+    if schema is not None:
+        stype = schema.simple_type(type_name.local)
+        if stype is not None:
+            base_local = stype.base.local if is_builtin(stype.base) else "string"
+            return base_local, tuple(stype.enumerations)
+    return "string", ()
+
+
+class PayloadGenerator:
+    """Seeded, schema-honest payload factory.
+
+    Each (service, class) pair derives its own RNG stream via
+    :func:`derive_seed`, so adding a class or reordering services never
+    shifts another cell's payload bytes.
+    """
+
+    def __init__(self, seed, classes=DEFAULT_CLASSES, payloads_per_class=2):
+        self.seed = seed
+        self.classes = tuple(classes)
+        self.payloads_per_class = max(1, int(payloads_per_class))
+
+    def generate(self, document, service_name):
+        """All payloads for one service, in class order."""
+        fields = request_shape(document)
+        payloads = []
+        for payload_class in self.classes:
+            rng = Random(derive_seed(
+                self.seed, service_name, payload_class.value
+            ))
+            for index, values in enumerate(
+                self._class_payloads(payload_class, fields, rng)
+            ):
+                payloads.append(TestPayload(payload_class, index, values))
+        return payloads
+
+    def _class_payloads(self, payload_class, fields, rng):
+        if not fields:
+            # Propertyless parameter types (enums, scalars): one echoable
+            # baseline payload, mirroring the lifecycle sample fallback.
+            if payload_class is PayloadClass.BASELINE:
+                yield {"state": "Ready"}
+            return
+        builder = {
+            PayloadClass.BASELINE: self._baseline_payloads,
+            PayloadClass.NUMERIC_BOUNDARY: self._numeric_payloads,
+            PayloadClass.STRING_EDGE: self._string_payloads,
+            PayloadClass.OCCURS_BOUNDS: self._occurs_payloads,
+            PayloadClass.OPTIONAL_OMISSION: self._omission_payloads,
+            PayloadClass.NIL: self._nil_payloads,
+        }[payload_class]
+        yield from builder(fields, rng)
+
+    # -- per-class builders -------------------------------------------
+
+    def _baseline_payloads(self, fields, rng):
+        for _ in range(self.payloads_per_class):
+            yield {
+                field.name: self._field_value(field, rng) for field in fields
+            }
+
+    def _numeric_payloads(self, fields, rng):
+        numeric = [f for f in fields if is_numeric(f.xsd_local)
+                   and not f.enumerations]
+        if not numeric:
+            return
+        variants = ("low", "high", "mixed")
+        for index in range(self.payloads_per_class):
+            variant = variants[index % len(variants)]
+            values = {}
+            for field in fields:
+                if field in numeric:
+                    low, high, zero = boundary_literals(field.xsd_local)
+                    pick = {"low": low, "high": high}.get(
+                        variant, rng.choice((low, high, zero))
+                    )
+                    values[field.name] = self._wrap(field, pick, rng)
+                else:
+                    values[field.name] = self._field_value(field, rng)
+            yield values
+
+    def _string_payloads(self, fields, rng):
+        stringy = [f for f in fields if f.xsd_local == "string"
+                   and not f.enumerations]
+        if not stringy:
+            return
+        for _ in range(self.payloads_per_class):
+            values = {}
+            for field in fields:
+                if field in stringy:
+                    values[field.name] = self._wrap(
+                        field, rng.choice(STRING_EDGES), rng
+                    )
+                else:
+                    values[field.name] = self._field_value(field, rng)
+            yield values
+
+    def _occurs_payloads(self, fields, rng):
+        repeated = [f for f in fields if f.repeated]
+        if not repeated:
+            return
+        variants = ("empty", "single", "many")
+        for index in range(self.payloads_per_class):
+            variant = variants[index % len(variants)]
+            values = {}
+            for field in fields:
+                if field in repeated:
+                    item = self._scalar_value(field, rng)
+                    if variant == "empty":
+                        values[field.name] = []
+                    elif variant == "single":
+                        values[field.name] = [item]
+                    else:
+                        values[field.name] = [
+                            self._scalar_value(field, rng)
+                            for _ in range(rng.randint(5, 9))
+                        ]
+                else:
+                    values[field.name] = self._field_value(field, rng)
+            yield values
+
+    def _omission_payloads(self, fields, rng):
+        optional = [f for f in fields if f.optional]
+        if not optional:
+            return
+        for index in range(self.payloads_per_class):
+            if index == 0:
+                omitted = set(optional)
+            else:
+                omitted = {
+                    f for f in optional if rng.random() < 0.5
+                } or {rng.choice(optional)}
+            yield {
+                field.name: self._field_value(field, rng)
+                for field in fields if field not in omitted
+            }
+
+    def _nil_payloads(self, fields, rng):
+        nillable = [f for f in fields if f.nillable]
+        if not nillable:
+            return
+        for index in range(self.payloads_per_class):
+            if index == 0:
+                nilled = set(nillable)
+            else:
+                nilled = {
+                    f for f in nillable if rng.random() < 0.5
+                } or {rng.choice(nillable)}
+            values = {}
+            for field in fields:
+                if field in nilled:
+                    if field.repeated:
+                        values[field.name] = [
+                            None, self._scalar_value(field, rng)
+                        ]
+                    else:
+                        values[field.name] = None
+                else:
+                    values[field.name] = self._field_value(field, rng)
+            yield values
+
+    # -- value helpers ------------------------------------------------
+
+    def _field_value(self, field, rng):
+        value = self._scalar_value(field, rng)
+        return [value, self._scalar_value(field, rng)] if field.repeated \
+            else value
+
+    def _wrap(self, field, value, rng):
+        """Fit a chosen scalar into the field's occurrence shape."""
+        return [value, self._scalar_value(field, rng)] if field.repeated \
+            else value
+
+    def _scalar_value(self, field, rng):
+        if field.enumerations:
+            return rng.choice(tuple(field.enumerations))
+        return _BASELINE_BY_XSD.get(field.xsd_local, "7")

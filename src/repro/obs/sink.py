@@ -98,9 +98,26 @@ def validate_trace_line(obj, line_number=0):
             )
 
 
+def _last_payload_index(lines):
+    """Index of the last non-blank line, or ``-1`` for a blank trace."""
+    for index in range(len(lines) - 1, -1, -1):
+        if lines[index].strip():
+            return index
+    return -1
+
+
 def validate_trace_lines(lines):
-    """Validate a whole trace; the first line must be the meta line."""
+    """Validate a whole trace; the first line must be the meta line.
+
+    A *trailing* line that is not valid JSON is tolerated: a crashed or
+    still-running writer leaves exactly one partially-written line at
+    the end of an append-style file, and dropping it loses nothing a
+    reader could have used.  Garbage anywhere else is real corruption
+    and still raises.
+    """
+    lines = list(lines)
     count = 0
+    last = _last_payload_index(lines)
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -108,6 +125,8 @@ def validate_trace_lines(lines):
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
+            if number - 1 == last and count > 0:
+                break  # truncated tail; load_trace counts it
             raise TraceValidationError(f"line {number}: not JSON: {exc}")
         validate_trace_line(obj, number)
         if count == 0 and obj.get("type") != "meta":
@@ -173,12 +192,22 @@ def load_trace(path, validate=True):
         lines = handle.readlines()
     if validate:
         validate_trace_lines(lines)
-    trace = {"meta": None, "spans": [], "workers": [], "metrics_events": []}
+    trace = {
+        "meta": None, "spans": [], "workers": [], "metrics_events": [],
+        "skipped_lines": 0,
+    }
     for line in lines:
         line = line.strip()
         if not line:
             continue
-        obj = json.loads(line)
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            # Partially-written trailing line (validated as tolerable
+            # above when validate=True): skip it, but keep the count so
+            # the profile can surface that the trace was truncated.
+            trace["skipped_lines"] += 1
+            continue
         if obj["type"] == "meta":
             trace["meta"] = obj
         elif obj["type"] == "span":

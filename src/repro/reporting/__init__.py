@@ -16,6 +16,13 @@ from repro.reporting.fuzz import (
     render_triage_summary,
 )
 from repro.reporting.html import render_html_report
+from repro.reporting.invoke import (
+    invoke_matrix_rows,
+    invoke_to_json,
+    render_fidelity_summary,
+    render_gate_summary,
+    render_invoke_matrix,
+)
 from repro.reporting.latex import render_fig4_latex, render_table3_latex
 from repro.reporting.profile import (
     render_profile,
@@ -47,6 +54,11 @@ __all__ = [
     "fig4_comparison",
     "fuzz_matrix_rows",
     "fuzz_to_json",
+    "invoke_matrix_rows",
+    "invoke_to_json",
+    "render_fidelity_summary",
+    "render_gate_summary",
+    "render_invoke_matrix",
     "render_client_robustness",
     "render_experiments_markdown",
     "render_fig4",

@@ -143,6 +143,12 @@ def render_profile(trace, top=10):
         f"trace {meta['trace_id']} · campaign {meta['campaign']} · "
         f"{meta['workers']} worker(s) · {len(trace['spans'])} spans"
     ]
+    skipped = trace.get("skipped_lines", 0)
+    if skipped:
+        out[0] += (
+            f"\nwarning: {skipped} truncated trailing line(s) skipped "
+            "(trace writer crashed or is still flushing)"
+        )
     rows = stage_latency_rows(trace)
     if rows:
         out.append(

@@ -8,7 +8,12 @@ executes the echo operation, and a dynamic client proxy driven by the
 generated artifacts.
 """
 
-from repro.runtime.client import ClientInvocationError, GeneratedClientProxy
+from repro.runtime.client import (
+    ClientHttpError,
+    ClientInvocationError,
+    ClientSoapFaultError,
+    GeneratedClientProxy,
+)
 from repro.runtime.guard import (
     FATAL_BUCKETS,
     INLINE_LIMITS,
@@ -20,7 +25,12 @@ from repro.runtime.guard import (
     classify_exception,
     run_guarded,
 )
-from repro.runtime.lifecycle import LifecycleOutcome, run_full_lifecycle
+from repro.runtime.lifecycle import (
+    ClientGate,
+    LifecycleOutcome,
+    prepare_client_proxy,
+    run_full_lifecycle,
+)
 from repro.runtime.recorder import Exchange, TransportRecorder, check_exchange
 from repro.runtime.resilience import (
     NAIVE_POLICY,
@@ -43,7 +53,10 @@ __all__ = [
     "AttemptLog",
     "CircuitBreaker",
     "CircuitOpen",
+    "ClientGate",
+    "ClientHttpError",
     "ClientInvocationError",
+    "ClientSoapFaultError",
     "ConnectionRefused",
     "DeadlineExceeded",
     "EchoServiceEndpoint",
@@ -66,6 +79,7 @@ __all__ = [
     "TriageBucket",
     "check_exchange",
     "classify_exception",
+    "prepare_client_proxy",
     "run_full_lifecycle",
     "run_guarded",
 ]

@@ -11,6 +11,14 @@ class ClientInvocationError(Exception):
     """Raised when an invocation cannot be performed or faults."""
 
 
+class ClientSoapFaultError(ClientInvocationError):
+    """The server answered with a SOAP fault envelope."""
+
+
+class ClientHttpError(ClientInvocationError):
+    """The transport returned a non-OK status without a fault envelope."""
+
+
 class GeneratedClientProxy:
     """Invokes a remote service through its generated artifacts.
 
@@ -57,10 +65,10 @@ class GeneratedClientProxy:
         if not response.ok:
             envelope = _try_parse(response.body)
             if envelope is not None and envelope.is_fault:
-                raise ClientInvocationError(
+                raise ClientSoapFaultError(
                     f"SOAP fault: {envelope.fault.string}"
                 )
-            raise ClientInvocationError(
+            raise ClientHttpError(
                 f"transport error {response.status}: {response.body[:200]}"
             )
 
@@ -73,7 +81,7 @@ class GeneratedClientProxy:
                 f"malformed response envelope: {exc}"
             ) from exc
         if envelope.is_fault:
-            raise ClientInvocationError(f"SOAP fault: {envelope.fault.string}")
+            raise ClientSoapFaultError(f"SOAP fault: {envelope.fault.string}")
         if envelope.body is None:
             raise ClientInvocationError("empty response body")
         payload = decode_wrapper(envelope.body)

@@ -65,6 +65,147 @@ def _failed(service_name, client_id, step, generation=StepStatus.ERROR,
     )
 
 
+@dataclass
+class ClientGate:
+    """Outcome of steps 2–3 plus proxy construction for one cell.
+
+    ``failure`` carries the fully-classified :class:`LifecycleOutcome`
+    when any gated step failed; on success ``document`` and ``proxy``
+    are live and the echo endpoint is mounted on the transport.
+    """
+
+    service_name: str
+    client_id: str
+    document: object = None
+    proxy: object = None
+    generation: StepStatus = StepStatus.SKIPPED
+    compilation: StepStatus = StepStatus.SKIPPED
+    failure: LifecycleOutcome | None = None
+
+    @property
+    def ok(self):
+        return self.failure is None
+
+
+def prepare_client_proxy(deployment_record, client, client_id="",
+                         transport=None, limits=None):
+    """Run steps 2–3 and build the client proxy, all under guards.
+
+    This is the shared gate in front of every data-plane exchange: the
+    full lifecycle uses it before its single echo invocation, and the
+    step-4 invocation campaign uses it once per (service, client) cell
+    before driving many payloads through the returned proxy.
+    """
+    limits = limits or INLINE_LIMITS
+    transport = transport or InMemoryHttpTransport()
+    service_name = getattr(deployment_record.service, "name", "")
+
+    def gate_failed(outcome):
+        return ClientGate(outcome.service_name, client_id, failure=outcome)
+
+    read_step = GuardedStep("wsdl-read", _read_description, limits=limits)
+    try:
+        read_step.check_input(deployment_record.wsdl_text)
+    except Exception as exc:
+        return gate_failed(_failed(
+            service_name, client_id, "generation",
+            detail=f"[resource-blowup] {exc}",
+            triage=TriageBucket.RESOURCE_BLOWUP.value,
+        ))
+    parsed = read_step.run(deployment_record.wsdl_text, limits.xml)
+    if not parsed.ok:
+        # Reading the description is the first thing every wsdl2code
+        # tool does, so a parse failure is a generation-step error.
+        return gate_failed(_failed(
+            service_name, client_id, "generation",
+            detail=_triage_detail(parsed),
+            triage=parsed.bucket.value,
+        ))
+    document = parsed.value
+    service_name = document.name or service_name
+
+    generated = GuardedStep("generate", client.generate, limits=limits).run(
+        document
+    )
+    if not generated.ok:
+        return gate_failed(_failed(
+            service_name, client_id, "generation",
+            detail=_triage_detail(generated),
+            triage=generated.bucket.value,
+        ))
+    generation = generated.value
+    if not generation.succeeded:
+        return gate_failed(LifecycleOutcome(
+            service_name, client_id,
+            generation=StepStatus.ERROR,
+            compilation=StepStatus.SKIPPED,
+            communication=StepStatus.SKIPPED,
+            execution=StepStatus.SKIPPED,
+            detail="; ".join(str(d) for d in generation.errors[:3]),
+        ))
+    generation_status = (
+        StepStatus.WARNING if generation.warnings else StepStatus.OK
+    )
+
+    compilation_status = StepStatus.NOT_APPLICABLE
+    if client.requires_compilation:
+        compiled = GuardedStep(
+            "compile", client.compiler.compile, limits=limits
+        ).run(generation.bundle)
+        if not compiled.ok:
+            return gate_failed(_failed(
+                service_name, client_id, "compilation",
+                generation=generation_status,
+                detail=_triage_detail(compiled),
+                triage=compiled.bucket.value,
+            ))
+        compilation = compiled.value
+        if not compilation.succeeded:
+            return gate_failed(LifecycleOutcome(
+                service_name, client_id,
+                generation=generation_status,
+                compilation=StepStatus.ERROR,
+                communication=StepStatus.SKIPPED,
+                execution=StepStatus.SKIPPED,
+                detail="; ".join(str(d) for d in compilation.errors[:3]),
+            ))
+        compilation_status = (
+            StepStatus.WARNING if compilation.warnings else StepStatus.OK
+        )
+
+    endpoint = EchoServiceEndpoint(deployment_record)
+    endpoint.mount(transport)
+    proxied = GuardedStep(
+        "proxy", GeneratedClientProxy, limits=limits
+    ).run(generation.bundle, document, transport)
+    if not proxied.ok:
+        return gate_failed(_failed(
+            service_name, client_id, "communication",
+            generation=generation_status,
+            compilation=compilation_status,
+            detail=_triage_detail(proxied),
+            triage=proxied.bucket.value,
+        ))
+    proxy = proxied.value
+    if not document.operations or not proxy.operations:
+        return gate_failed(LifecycleOutcome(
+            service_name, client_id,
+            generation=generation_status,
+            compilation=compilation_status,
+            communication=StepStatus.ERROR,
+            execution=StepStatus.SKIPPED,
+            detail="generated client exposes no operations",
+        ))
+
+    return ClientGate(
+        service_name, client_id,
+        document=document,
+        proxy=proxy,
+        generation=generation_status,
+        compilation=compilation_status,
+    )
+
+
 def run_full_lifecycle(deployment_record, client, client_id="", transport=None,
                        values=None, limits=None):
     """Run steps 2–5 for one deployed service and one client framework.
@@ -98,91 +239,16 @@ def _run_full_lifecycle(deployment_record, client, client_id="", transport=None,
                         values=None, limits=None):
     limits = limits or INLINE_LIMITS
     transport = transport or InMemoryHttpTransport()
-    service_name = getattr(deployment_record.service, "name", "")
 
-    read_step = GuardedStep("wsdl-read", _read_description, limits=limits)
-    try:
-        read_step.check_input(deployment_record.wsdl_text)
-    except Exception as exc:
-        return _failed(service_name, client_id, "generation",
-                       detail=f"[resource-blowup] {exc}",
-                       triage=TriageBucket.RESOURCE_BLOWUP.value)
-    parsed = read_step.run(deployment_record.wsdl_text, limits.xml)
-    if not parsed.ok:
-        # Reading the description is the first thing every wsdl2code
-        # tool does, so a parse failure is a generation-step error.
-        return _failed(service_name, client_id, "generation",
-                       detail=_triage_detail(parsed),
-                       triage=parsed.bucket.value)
-    document = parsed.value
-    service_name = document.name or service_name
-
-    generated = GuardedStep("generate", client.generate, limits=limits).run(
-        document
+    gate = prepare_client_proxy(
+        deployment_record, client, client_id=client_id,
+        transport=transport, limits=limits,
     )
-    if not generated.ok:
-        return _failed(service_name, client_id, "generation",
-                       detail=_triage_detail(generated),
-                       triage=generated.bucket.value)
-    generation = generated.value
-    if not generation.succeeded:
-        return LifecycleOutcome(
-            service_name, client_id,
-            generation=StepStatus.ERROR,
-            compilation=StepStatus.SKIPPED,
-            communication=StepStatus.SKIPPED,
-            execution=StepStatus.SKIPPED,
-            detail="; ".join(str(d) for d in generation.errors[:3]),
-        )
-    generation_status = (
-        StepStatus.WARNING if generation.warnings else StepStatus.OK
-    )
-
-    compilation_status = StepStatus.NOT_APPLICABLE
-    if client.requires_compilation:
-        compiled = GuardedStep(
-            "compile", client.compiler.compile, limits=limits
-        ).run(generation.bundle)
-        if not compiled.ok:
-            return _failed(service_name, client_id, "compilation",
-                           generation=generation_status,
-                           detail=_triage_detail(compiled),
-                           triage=compiled.bucket.value)
-        compilation = compiled.value
-        if not compilation.succeeded:
-            return LifecycleOutcome(
-                service_name, client_id,
-                generation=generation_status,
-                compilation=StepStatus.ERROR,
-                communication=StepStatus.SKIPPED,
-                execution=StepStatus.SKIPPED,
-                detail="; ".join(str(d) for d in compilation.errors[:3]),
-            )
-        compilation_status = (
-            StepStatus.WARNING if compilation.warnings else StepStatus.OK
-        )
-
-    endpoint = EchoServiceEndpoint(deployment_record)
-    endpoint.mount(transport)
-    proxied = GuardedStep(
-        "proxy", GeneratedClientProxy, limits=limits
-    ).run(generation.bundle, document, transport)
-    if not proxied.ok:
-        return _failed(service_name, client_id, "communication",
-                       generation=generation_status,
-                       compilation=compilation_status,
-                       detail=_triage_detail(proxied),
-                       triage=proxied.bucket.value)
-    proxy = proxied.value
-    if not document.operations or not proxy.operations:
-        return LifecycleOutcome(
-            service_name, client_id,
-            generation=generation_status,
-            compilation=compilation_status,
-            communication=StepStatus.ERROR,
-            execution=StepStatus.SKIPPED,
-            detail="generated client exposes no operations",
-        )
+    if not gate.ok:
+        return gate.failure
+    document, proxy = gate.document, gate.proxy
+    service_name = gate.service_name
+    generation_status, compilation_status = gate.generation, gate.compilation
 
     operation = document.operations[0].name
     payload = values

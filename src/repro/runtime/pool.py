@@ -56,7 +56,8 @@ from repro.obs.trace import Tracer, activate
 from repro.runtime.guard import TriageBucket, classify_exception
 
 #: Checkpoint key of the unit-level quarantine registry.  Distinct from
-#: the fuzz campaign's cell-level ``"quarantine"`` key so both can share
+#: the campaigns' cell-level keys (the fuzz sweep's ``"quarantine"``,
+#: the invocation sweep's ``"invoke-quarantine"``) so they can all share
 #: one checkpoint directory.
 POOL_QUARANTINE_KEY = "pool-quarantine"
 

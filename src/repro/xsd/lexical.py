@@ -1,0 +1,178 @@
+"""Lexical spaces of the XSD built-in simple types.
+
+The invocation campaign generates payload values *as lexical text* — the
+same strings a wire message carries — so both the generator and its
+property tests need one authority on what the lexical space of each
+built-in looks like: which strings are valid ``xsd:int`` literals, what
+the numeric boundary values are, and when two different literals denote
+the same value (``"+007"`` and ``"7"`` are distinct lexically but equal
+in the ``int`` value space — the difference a round trip is allowed to
+flatten without losing data).
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal, InvalidOperation
+
+#: Inclusive value bounds of the bounded integer built-ins.
+INTEGER_BOUNDS = {
+    "byte": (-128, 127),
+    "short": (-32768, 32767),
+    "int": (-2147483648, 2147483647),
+    "long": (-9223372036854775808, 9223372036854775807),
+    "unsignedByte": (0, 255),
+    "unsignedShort": (0, 65535),
+    "unsignedInt": (0, 4294967295),
+    "unsignedLong": (0, 18446744073709551615),
+}
+
+#: Unbounded (or half-bounded) integer built-ins: (min, max) with None
+#: marking "no bound".
+_OPEN_INTEGER_BOUNDS = {
+    "integer": (None, None),
+    "nonNegativeInteger": (0, None),
+    "positiveInteger": (1, None),
+}
+
+#: Built-ins whose lexical space is checked structurally below; every
+#: other built-in (``string``, ``anyType``, …) accepts any string.
+_INTEGER_RE = re.compile(r"^[+-]?\d+$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?$")
+_FLOAT_SPECIALS = ("INF", "-INF", "NaN")
+_DATETIME_RE = re.compile(
+    r"^-?\d{4,}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
+)
+_TIME_RE = re.compile(r"^\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+_DATE_RE = re.compile(r"^-?\d{4,}-\d{2}-\d{2}(Z|[+-]\d{2}:\d{2})?$")
+_DURATION_RE = re.compile(
+    r"^-?P(?=.)(\d+Y)?(\d+M)?(\d+D)?(T(?=.)(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$"
+)
+_BASE64_RE = re.compile(r"^[A-Za-z0-9+/\s]*={0,2}$")
+_QNAME_RE = re.compile(r"^([A-Za-z_][\w.\-]*:)?[A-Za-z_][\w.\-]*$")
+_HEX_RE = re.compile(r"^([0-9a-fA-F]{2})*$")
+
+
+def integer_bounds(local):
+    """``(min, max)`` of an integer built-in; ``None`` marks unbounded."""
+    if local in INTEGER_BOUNDS:
+        return INTEGER_BOUNDS[local]
+    return _OPEN_INTEGER_BOUNDS.get(local)
+
+
+def is_numeric(local):
+    """True for built-ins whose value space is numeric."""
+    return (
+        local in INTEGER_BOUNDS
+        or local in _OPEN_INTEGER_BOUNDS
+        or local in ("decimal", "float", "double")
+    )
+
+
+def boundary_literals(local):
+    """Canonical boundary literals of a numeric built-in, small-first.
+
+    For bounded integers these are the exact type bounds; for the open
+    types a representative extreme; for the IEEE types the largest
+    finite magnitudes plus zero.  Every returned string is within the
+    type's lexical *and* value space, so a schema-honest peer must
+    accept them.
+    """
+    bounds = integer_bounds(local)
+    if bounds is not None:
+        low, high = bounds
+        low = "-999999999999999999999999" if low is None else str(low)
+        high = "999999999999999999999999" if high is None else str(high)
+        return (low, high, "0") if local != "positiveInteger" else (low, high, "1")
+    if local == "decimal":
+        return ("-12345678901234567890.12345", "12345678901234567890.12345", "0.0")
+    if local == "float":
+        return ("-3.4028235E38", "3.4028235E38", "0.0")
+    if local == "double":
+        return ("-1.7976931348623157E308", "1.7976931348623157E308", "0.0")
+    raise ValueError(f"{local!r} is not a numeric built-in")
+
+
+def lexical_ok(local, text):
+    """True when ``text`` is in the lexical space of built-in ``local``.
+
+    Deliberately permissive for the loosely-specified types (``string``,
+    ``anyURI``, unknown locals) and exact for the numeric, temporal and
+    binary ones — the ones whose literals a generator can get wrong.
+    """
+    if not isinstance(text, str):
+        return False
+    bounds = integer_bounds(local)
+    if bounds is not None:
+        if not _INTEGER_RE.match(text):
+            return False
+        value = int(text)
+        low, high = bounds
+        if low is not None and value < low:
+            return False
+        if high is not None and value > high:
+            return False
+        return True
+    if local == "decimal":
+        return bool(_DECIMAL_RE.match(text))
+    if local in ("float", "double"):
+        return text in _FLOAT_SPECIALS or bool(_FLOAT_RE.match(text))
+    if local == "boolean":
+        return text in ("true", "false", "1", "0")
+    if local == "dateTime":
+        return bool(_DATETIME_RE.match(text))
+    if local == "time":
+        return bool(_TIME_RE.match(text))
+    if local == "date":
+        return bool(_DATE_RE.match(text))
+    if local == "duration":
+        return bool(_DURATION_RE.match(text))
+    if local == "base64Binary":
+        stripped = text.replace("\n", "").replace(" ", "")
+        return bool(_BASE64_RE.match(stripped)) and len(stripped) % 4 == 0
+    if local == "hexBinary":
+        return bool(_HEX_RE.match(text))
+    if local in ("QName", "NOTATION"):
+        return bool(_QNAME_RE.match(text))
+    if local == "normalizedString":
+        return not any(ch in text for ch in "\t\n\r")
+    if local in ("token", "language", "NMTOKEN", "ID", "IDREF"):
+        if any(ch in text for ch in "\t\n\r"):
+            return False
+        if text != text.strip(" ") or "  " in text:
+            return False
+        if local in ("NMTOKEN", "ID", "IDREF") and (" " in text or not text):
+            return False
+        return True
+    # string, anyURI, anyType, anySimpleType, unknown locals: lax.
+    return True
+
+
+def value_equal(local, sent, received):
+    """True when two literals denote the same value of built-in ``local``.
+
+    This is the *value-space* comparison the fidelity triage uses to
+    tell a representation change (``COERCED``) from data loss: two
+    unequal strings that still compare equal here carried the same
+    value across the wire.
+    """
+    if sent == received:
+        return True
+    if not isinstance(sent, str) or not isinstance(received, str):
+        return False
+    if is_numeric(local):
+        if local in ("float", "double") and (
+            sent in _FLOAT_SPECIALS or received in _FLOAT_SPECIALS
+        ):
+            return sent == received
+        try:
+            return Decimal(sent) == Decimal(received)
+        except (InvalidOperation, ValueError):
+            return False
+    if local == "boolean":
+        truthy = ("true", "1")
+        return (sent in truthy) == (received in truthy) and all(
+            lexical_ok("boolean", text) for text in (sent, received)
+        )
+    return False

@@ -1,0 +1,121 @@
+"""Invocation sweep end-to-end: scale, parallel byte-identity, kill -9.
+
+The acceptance bar for the step-4 campaign: a seeded sweep of 300+
+payloads across every server/client pair classifies every round trip
+(zero unclassified), ``--workers 2`` is byte-identical to serial, and a
+supervisor killed with SIGKILL mid-sweep resumes from its checkpoint to
+the exact same fidelity matrix.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import CampaignConfig
+from repro.core.store import CampaignCheckpoint
+from repro.invoke import InvocationCampaign, InvocationCampaignConfig
+from repro.reporting import invoke_to_json
+from repro.runtime.pool import PoolConfig, execute_sharded
+from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="kill/resume suite relies on the fork start method",
+)
+
+
+def _iconfig():
+    return InvocationCampaignConfig(
+        base=CampaignConfig(
+            java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+        ),
+        seed=20140622,
+        sample_per_server=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_json():
+    return invoke_to_json(InvocationCampaign(_iconfig()).run())
+
+
+class TestSweepScale:
+    def test_seeded_sweep_is_total_over_300_payloads(self, serial_json):
+        obj = json.loads(serial_json)
+        executed = sum(
+            cell["payloads"] for cell in obj["cells"].values()
+        )
+        assert executed >= 300
+        assert all(
+            cell["unclassified"] == 0 for cell in obj["cells"].values()
+        )
+        # Every server/client pair that passed its gate shows up.
+        assert set(obj["server_ids"]) == set(obj["services_per_server"])
+
+
+class TestParallelByteIdentity:
+    def test_workers_2_matches_serial_bytes(self, serial_json):
+        job = InvocationCampaign(_iconfig()).shard_job()
+        result, stats = execute_sharded(job, PoolConfig(workers=2))
+        assert invoke_to_json(result) == serial_json
+        assert stats.units_completed == stats.units_total
+        assert stats.contained == 0
+
+
+def _run_until_killed(checkpoint_dir):
+    # New session so the kill below takes out the supervisor AND its
+    # forked workers; an orphaned worker would otherwise keep the
+    # multiprocessing resource-tracker pipe open and hang pytest's exit.
+    os.setsid()
+    job = InvocationCampaign(_iconfig()).shard_job()
+    execute_sharded(
+        job,
+        PoolConfig(workers=1),
+        checkpoint=CampaignCheckpoint(checkpoint_dir),
+    )
+
+
+class TestKillResume:
+    def test_sigkill_mid_sweep_resumes_identically(
+        self, tmp_path, serial_json
+    ):
+        checkpoint_dir = tmp_path / "ck"
+        context = multiprocessing.get_context("fork")
+        child = context.Process(
+            target=_run_until_killed, args=(str(checkpoint_dir),)
+        )
+        child.start()
+        # Wait until at least one unit payload has been checkpointed,
+        # then kill the supervisor the hard way.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            done = [
+                name
+                for name in (
+                    os.listdir(checkpoint_dir)
+                    if checkpoint_dir.is_dir()
+                    else []
+                )
+                if name.endswith(".json") and name != "manifest.json"
+            ]
+            if done:
+                break
+            time.sleep(0.05)
+        else:
+            child.terminate()
+            pytest.fail("no unit checkpoint appeared before the deadline")
+        os.killpg(child.pid, signal.SIGKILL)
+        child.join(timeout=30)
+        assert child.exitcode == -signal.SIGKILL
+
+        job = InvocationCampaign(_iconfig()).shard_job()
+        checkpoint = CampaignCheckpoint(checkpoint_dir)
+        result, stats = execute_sharded(
+            job, PoolConfig(workers=2), checkpoint=checkpoint
+        )
+        assert stats.units_restored >= 1
+        assert invoke_to_json(result) == serial_json

@@ -1,0 +1,150 @@
+"""Property-based tests for the invocation payload generator."""
+
+import json
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frameworks.server.common import build_echo_wsdl
+from repro.invoke import PayloadGenerator, request_shape
+from repro.services.model import ServiceDefinition
+from repro.typesystem.model import Language, Property, SimpleType, TypeInfo
+from repro.xmlcore import QName, XSD_NS
+from repro.xsd.lexical import lexical_ok
+from repro.xsd.model import ComplexType, ElementParticle, SimpleTypeDecl
+
+property_names = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from(list(string.ascii_lowercase)),
+    st.text(alphabet=string.ascii_letters + string.digits, max_size=8),
+)
+
+simple_types = st.sampled_from(list(SimpleType))
+
+
+@st.composite
+def bean_types(draw):
+    """A random echo-bean TypeInfo with unique property names."""
+    names = draw(st.lists(property_names, min_size=0, max_size=6, unique=True))
+    properties = tuple(
+        Property(
+            name,
+            value_type=draw(simple_types),
+            is_array=draw(st.booleans()),
+            nillable_value=draw(st.booleans()),
+        )
+        for name in names
+    )
+    return TypeInfo(
+        language=Language.JAVA,
+        namespace="prop.test",
+        name="Bean" + draw(property_names).capitalize(),
+        properties=properties,
+    )
+
+
+def _document_for(type_info):
+    service = ServiceDefinition(parameter_type=type_info)
+    return service, build_echo_wsdl(service, "http://test.invalid/endpoint")
+
+
+class TestGeneratorProperties:
+    @given(type_info=bean_types(), seed=st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_same_seed_is_byte_identical(self, type_info, seed):
+        service, document = _document_for(type_info)
+        first = PayloadGenerator(seed).generate(document, service.name)
+        second = PayloadGenerator(seed).generate(document, service.name)
+        assert json.dumps(
+            [[p.label, p.values] for p in first], sort_keys=True
+        ) == json.dumps([[p.label, p.values] for p in second], sort_keys=True)
+        assert [p.digest for p in first] == [p.digest for p in second]
+
+    @given(type_info=bean_types(), seed=st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_every_value_matches_its_source_xsd_type(self, type_info, seed):
+        service, document = _document_for(type_info)
+        fields = {field.name: field for field in request_shape(document)}
+        for payload in PayloadGenerator(seed).generate(document, service.name):
+            if not fields:
+                assert payload.values == {"state": "Ready"}
+                continue
+            for name, value in payload.values.items():
+                field = fields[name]
+                items = value if isinstance(value, list) else [value]
+                if isinstance(value, list):
+                    assert field.repeated, field.name
+                for item in items:
+                    if item is None:
+                        assert field.nillable, field.name
+                    elif field.enumerations:
+                        assert item in field.enumerations
+                    else:
+                        assert lexical_ok(field.xsd_local, item), (
+                            field.name, field.xsd_local, item,
+                        )
+
+    @given(type_info=bean_types(), seed=st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_required_fields_are_never_omitted(self, type_info, seed):
+        service, document = _document_for(type_info)
+        required = [
+            field.name
+            for field in request_shape(document)
+            if not field.optional
+        ]
+        for payload in PayloadGenerator(seed).generate(document, service.name):
+            for name in required:
+                assert name in payload.values, (payload.label, name)
+
+    @given(
+        values=st.lists(
+            st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_enum_payloads_stay_inside_the_value_space(self, values, seed):
+        # A bean whose ``shade`` field references a named enum simple type.
+        def emitter(type_info, schema):
+            tns = schema.target_namespace
+            schema.simple_types.append(
+                SimpleTypeDecl(
+                    name="Shade",
+                    base=QName(XSD_NS, "string"),
+                    enumerations=tuple(values),
+                )
+            )
+            schema.complex_types.append(
+                ComplexType(
+                    name=type_info.name,
+                    particles=[
+                        ElementParticle(
+                            name="shade", type_name=QName(tns, "Shade")
+                        )
+                    ],
+                )
+            )
+            return QName(tns, type_info.name)
+
+        type_info = TypeInfo(
+            language=Language.JAVA, namespace="prop.test", name="Palette"
+        )
+        service = ServiceDefinition(parameter_type=type_info)
+        document = build_echo_wsdl(
+            service, "http://test.invalid/endpoint", type_emitter=emitter
+        )
+        fields = request_shape(document)
+        assert any(field.enumerations for field in fields)
+        payloads = PayloadGenerator(seed).generate(document, service.name)
+        assert payloads
+        for payload in payloads:
+            value = payload.values.get("shade")
+            if value is None:
+                continue
+            items = value if isinstance(value, list) else [value]
+            for item in items:
+                assert item in values

@@ -1,0 +1,122 @@
+"""Fidelity triage: round-trip comparison and failure classification."""
+
+from repro.invoke import FieldShape, Fidelity, classify_failure, compare_roundtrip
+from repro.runtime.client import (
+    ClientHttpError,
+    ClientInvocationError,
+    ClientSoapFaultError,
+)
+from repro.runtime.guard import GuardLimits, GuardedStep
+from repro.runtime.transport import TransportError
+
+
+def _shape(**fields):
+    return {
+        name: FieldShape(name=name, **spec) for name, spec in fields.items()
+    }
+
+
+class TestCompare:
+    def test_equal_is_lossless(self):
+        triage = compare_roundtrip({"a": "1"}, {"a": "1"})
+        assert triage.fidelity is Fidelity.LOSSLESS
+        assert not triage.fatal and not triage.unclassified
+
+    def test_single_item_list_collapse_is_coerced(self):
+        triage = compare_roundtrip({"a": ["one"]}, {"a": "one"})
+        assert triage.fidelity is Fidelity.COERCED
+        assert "collapsed" in triage.detail
+
+    def test_empty_list_absence_is_coerced(self):
+        triage = compare_roundtrip({"a": [], "b": "x"}, {"b": "x"})
+        assert triage.fidelity is Fidelity.COERCED
+        assert "absent" in triage.detail
+
+    def test_missing_field_is_corrupted(self):
+        triage = compare_roundtrip({"a": "1", "b": "2"}, {"a": "1"})
+        assert triage.fidelity is Fidelity.CORRUPTED
+
+    def test_extra_field_is_corrupted(self):
+        triage = compare_roundtrip({"a": "1"}, {"a": "1", "b": "2"})
+        assert triage.fidelity is Fidelity.CORRUPTED
+
+    def test_value_space_rewrite_is_coerced(self):
+        shape = _shape(a=dict(xsd_local="int"))
+        triage = compare_roundtrip({"a": "+007"}, {"a": "7"}, shape)
+        assert triage.fidelity is Fidelity.COERCED
+
+    def test_value_change_is_corrupted(self):
+        shape = _shape(a=dict(xsd_local="int"))
+        triage = compare_roundtrip({"a": "7"}, {"a": "8"}, shape)
+        assert triage.fidelity is Fidelity.CORRUPTED
+
+    def test_nil_flattened_is_corrupted(self):
+        triage = compare_roundtrip({"a": None}, {"a": ""})
+        assert triage.fidelity is Fidelity.CORRUPTED
+        assert "nil" in triage.detail
+
+    def test_occurrence_count_change_is_corrupted(self):
+        triage = compare_roundtrip({"a": ["1", "2"]}, {"a": ["1"]})
+        assert triage.fidelity is Fidelity.CORRUPTED
+
+    def test_worst_observation_wins(self):
+        shape = _shape(
+            a=dict(xsd_local="int"), b=dict(xsd_local="string"),
+        )
+        triage = compare_roundtrip(
+            {"a": "+07", "b": "x"}, {"a": "7", "b": "y"}, shape
+        )
+        assert triage.fidelity is Fidelity.CORRUPTED
+
+    def test_empty_request_collapse_is_coerced(self):
+        triage = compare_roundtrip({}, {"return": ""})
+        assert triage.fidelity is Fidelity.COERCED
+
+
+def _failed_verdict(exc):
+    step = GuardedStep(
+        "invoke",
+        lambda: (_ for _ in ()).throw(exc),
+        limits=GuardLimits(deadline_seconds=5.0),
+    )
+    verdict = step.run()
+    assert not verdict.ok
+    return verdict
+
+
+class TestClassifyFailure:
+    def test_soap_fault_is_fault(self):
+        triage = classify_failure(
+            _failed_verdict(ClientSoapFaultError("SOAP fault: boom"))
+        )
+        assert triage.fidelity is Fidelity.FAULT
+        assert not triage.fatal and not triage.unclassified
+
+    def test_http_error_is_fault(self):
+        triage = classify_failure(
+            _failed_verdict(ClientHttpError("transport error 500"))
+        )
+        assert triage.fidelity is Fidelity.FAULT
+
+    def test_transport_error_is_fault(self):
+        triage = classify_failure(_failed_verdict(TransportError("refused")))
+        assert triage.fidelity is Fidelity.FAULT
+
+    def test_plain_client_error_is_reject(self):
+        triage = classify_failure(
+            _failed_verdict(ClientInvocationError("no method"))
+        )
+        assert triage.fidelity is Fidelity.CLIENT_REJECT
+        assert not triage.fatal
+
+    def test_unknown_exception_is_fatal_unclassified(self):
+        triage = classify_failure(_failed_verdict(RuntimeError("harness bug")))
+        assert triage.fidelity is Fidelity.FAULT
+        assert triage.fatal
+        assert triage.unclassified
+
+    def test_memory_blowup_is_nonfatal_fault(self):
+        triage = classify_failure(_failed_verdict(MemoryError()))
+        assert triage.fidelity is Fidelity.FAULT
+        assert not triage.fatal
+        assert not triage.unclassified

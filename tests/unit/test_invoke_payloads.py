@@ -1,0 +1,194 @@
+"""Payload generator: shapes, seeding, schema honesty, lexical spaces."""
+
+import json
+
+import pytest
+
+from repro.appservers import container_for
+from repro.core import Campaign, CampaignConfig
+from repro.invoke import (
+    DEFAULT_CLASSES,
+    FieldShape,
+    PayloadClass,
+    PayloadGenerator,
+    request_shape,
+)
+from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+from repro.xsd.lexical import (
+    boundary_literals,
+    integer_bounds,
+    lexical_ok,
+    value_equal,
+)
+
+
+@pytest.fixture(scope="module")
+def deployed_records():
+    config = CampaignConfig(
+        java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+    )
+    campaign = Campaign(config)
+    records = []
+    for server_id in config.server_ids:
+        container = container_for(server_id)
+        container.deploy_corpus(campaign.corpus_for(server_id))
+        records.extend(container.deployed[:3])
+    return records
+
+
+class TestLexical:
+    def test_bounded_integer_literals_are_exact(self):
+        low, high, zero = boundary_literals("int")
+        assert (int(low), int(high)) == integer_bounds("int")
+        assert zero == "0"
+        assert lexical_ok("int", low) and lexical_ok("int", high)
+
+    def test_out_of_range_integer_rejected(self):
+        assert not lexical_ok("byte", "128")
+        assert not lexical_ok("unsignedShort", "-1")
+        assert lexical_ok("byte", "-128")
+
+    def test_non_numeric_literals(self):
+        assert lexical_ok("boolean", "1")
+        assert not lexical_ok("boolean", "yes")
+        assert lexical_ok("dateTime", "2014-06-22T10:30:00Z")
+        assert not lexical_ok("dateTime", "June 22nd")
+        assert lexical_ok("duration", "PT5M")
+        assert not lexical_ok("duration", "P")
+        assert lexical_ok("base64Binary", "c2FtcGxl")
+        assert not lexical_ok("base64Binary", "c2F?")
+        assert lexical_ok("string", "anything\nat all")
+
+    def test_every_boundary_literal_is_lexically_valid(self):
+        for local in (
+            "byte", "short", "int", "long", "unsignedByte", "unsignedShort",
+            "unsignedInt", "unsignedLong", "integer", "nonNegativeInteger",
+            "positiveInteger", "decimal", "float", "double",
+        ):
+            for literal in boundary_literals(local):
+                assert lexical_ok(local, literal), (local, literal)
+
+    def test_value_equality_flattens_representation(self):
+        assert value_equal("int", "+007", "7")
+        assert value_equal("decimal", "3.140", "3.14")
+        assert value_equal("boolean", "1", "true")
+        assert not value_equal("boolean", "1", "false")
+        assert not value_equal("int", "7", "8")
+        assert not value_equal("string", "a", "b")
+        assert value_equal("string", "a", "a")
+
+
+class TestRequestShape:
+    def test_shape_resolves_deployed_wsdls(self, deployed_records):
+        shaped = 0
+        for record in deployed_records:
+            fields = request_shape(record.wsdl)
+            for field in fields:
+                assert isinstance(field, FieldShape)
+                assert field.name
+                assert field.xsd_local
+            shaped += bool(fields)
+        assert shaped > 0
+
+    def test_arrays_are_repeated_and_optional(self, deployed_records):
+        # The corpus maps bean arrays to minOccurs=0/maxOccurs=unbounded.
+        repeated = [
+            field
+            for record in deployed_records
+            for field in request_shape(record.wsdl)
+            if field.repeated
+        ]
+        assert repeated
+        assert all(field.optional for field in repeated)
+
+
+class TestGenerator:
+    def test_same_seed_is_byte_identical(self, deployed_records):
+        record = deployed_records[0]
+        first = PayloadGenerator(7).generate(record.wsdl, record.service.name)
+        second = PayloadGenerator(7).generate(record.wsdl, record.service.name)
+        assert [(p.label, p.values) for p in first] == [
+            (p.label, p.values) for p in second
+        ]
+        assert json.dumps([p.values for p in first], sort_keys=True) == \
+            json.dumps([p.values for p in second], sort_keys=True)
+
+    def test_different_seed_differs_somewhere(self, deployed_records):
+        changed = False
+        for record in deployed_records:
+            a = PayloadGenerator(1).generate(record.wsdl, record.service.name)
+            b = PayloadGenerator(2).generate(record.wsdl, record.service.name)
+            if [p.values for p in a] != [p.values for p in b]:
+                changed = True
+                break
+        assert changed
+
+    def test_values_respect_field_schema(self, deployed_records):
+        for record in deployed_records:
+            fields = {
+                field.name: field for field in request_shape(record.wsdl)
+            }
+            payloads = PayloadGenerator(7).generate(
+                record.wsdl, record.service.name
+            )
+            assert payloads, record.service.name
+            for payload in payloads:
+                if not fields:
+                    assert payload.values == {"state": "Ready"}
+                    continue
+                for name, value in payload.values.items():
+                    field = fields[name]
+                    self._check_value(field, value)
+                # Required fields are never omitted.
+                for name, field in fields.items():
+                    if not field.optional:
+                        assert name in payload.values
+
+    def _check_value(self, field, value):
+        if isinstance(value, list):
+            assert field.repeated, field.name
+            for item in value:
+                self._check_scalar(field, item)
+        else:
+            self._check_scalar(field, value)
+
+    def _check_scalar(self, field, value):
+        if value is None:
+            assert field.nillable, field.name
+            return
+        if field.enumerations:
+            assert value in field.enumerations
+            return
+        assert lexical_ok(field.xsd_local, value), (
+            field.name, field.xsd_local, value,
+        )
+
+    def test_class_filter_limits_output(self, deployed_records):
+        record = deployed_records[0]
+        generator = PayloadGenerator(7, classes=(PayloadClass.BASELINE,))
+        payloads = generator.generate(record.wsdl, record.service.name)
+        assert payloads
+        assert {p.payload_class for p in payloads} == {PayloadClass.BASELINE}
+
+    def test_labels_and_digests_are_stable(self, deployed_records):
+        record = deployed_records[0]
+        payloads = PayloadGenerator(7).generate(
+            record.wsdl, record.service.name
+        )
+        labels = [p.label for p in payloads]
+        assert len(labels) == len(set(labels))
+        again = PayloadGenerator(7).generate(record.wsdl, record.service.name)
+        assert [p.digest for p in payloads] == [p.digest for p in again]
+
+    def test_all_default_classes_appear_on_rich_services(self, deployed_records):
+        seen = set()
+        for record in deployed_records:
+            for payload in PayloadGenerator(7).generate(
+                record.wsdl, record.service.name
+            ):
+                seen.add(payload.payload_class)
+        # Baseline always fires; the richer classes need matching fields
+        # which the quick corpus reliably provides across records.
+        assert PayloadClass.BASELINE in seen
+        assert len(seen) >= 3
+        assert seen <= set(DEFAULT_CLASSES)

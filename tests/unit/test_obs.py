@@ -264,6 +264,32 @@ class TestSink:
         with pytest.raises(TraceValidationError, match="workers"):
             validate_trace_lines([json.dumps(meta)] + lines[1:])
 
+    def test_truncated_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        # A writer killed mid-flush leaves a partial last line; readers
+        # must keep the intact prefix instead of refusing the trace.
+        path = self._write_one(tmp_path)
+        intact = load_trace(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "id": "trunc')
+        trace = load_trace(path)
+        assert trace["skipped_lines"] == 1
+        assert [span["id"] for span in trace["spans"]] == [
+            span["id"] for span in intact["spans"]
+        ]
+        lines = open(path).read().splitlines()
+        validate_trace_lines(lines)  # tolerated in the trailing slot
+
+    def test_truncated_interior_line_still_rejected(self, tmp_path):
+        path = self._write_one(tmp_path)
+        lines = open(path).read().splitlines()
+        corrupted = lines[:1] + ['{"type": "span", "id": "trunc'] + lines[1:]
+        with pytest.raises(TraceValidationError, match="not JSON"):
+            validate_trace_lines(corrupted)
+
+    def test_intact_trace_reports_zero_skipped(self, tmp_path):
+        path = self._write_one(tmp_path)
+        assert load_trace(path)["skipped_lines"] == 0
+
     def test_schema_mirror_in_tests_data_is_in_sync(self):
         import os
 
