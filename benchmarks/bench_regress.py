@@ -1,0 +1,91 @@
+"""Regression gate economics — diff cost vs full-sweep cost.
+
+The whole point of the baseline store is that *checking* a change costs
+one sweep plus a diff, and the diff itself is nearly free next to the
+sweep.  This bench measures both legs over the quick run+invoke fleet
+and records cells/sec plus the diff:sweep cost ratio in
+``BENCH_regress.json`` (via the per-test ``extra`` block).
+"""
+
+from conftest import print_rows
+
+from repro.regress import (
+    BaselineStore,
+    build_configs,
+    build_report,
+    run_sweeps,
+)
+
+#: shared sweep seed, recorded in BENCH_regress.json
+BENCH_SEED = 20140622
+
+CAMPAIGNS = ("run", "invoke")
+
+#: mean full-sweep seconds, stashed by the sweep bench for the ratio row.
+_SWEEP_MEAN = {}
+
+
+def _configs(quick_config):
+    return build_configs(
+        CAMPAIGNS, quick_config, seed=BENCH_SEED, sample=2,
+        payloads_per_class=1,
+    )
+
+
+def _cell_count(snapshots):
+    return sum(len(snapshot["cells"]) for snapshot in snapshots.values())
+
+
+def test_full_sweep_cost(benchmark, quick_config):
+    configs = _configs(quick_config)
+    snapshots = benchmark.pedantic(
+        lambda: run_sweeps(CAMPAIGNS, configs), rounds=3, iterations=1
+    )
+    cells = _cell_count(snapshots)
+    mean = benchmark.stats.stats.mean
+    _SWEEP_MEAN["seconds"] = mean
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["cells_per_second"] = round(cells / mean, 2)
+    print_rows(
+        "Full sweep (the expensive leg of a regress check)",
+        ("Campaigns", "Cells", "Mean s", "Cells/s"),
+        [(",".join(CAMPAIGNS), cells, f"{mean:.3f}",
+          f"{cells / mean:.1f}")],
+    )
+    assert cells > 0
+
+
+def test_diff_cost(benchmark, quick_config, tmp_path):
+    configs = _configs(quick_config)
+    snapshots = run_sweeps(CAMPAIGNS, configs)
+    store = BaselineStore(str(tmp_path / "baseline"))
+    store.accept(snapshots)
+
+    report = benchmark.pedantic(
+        lambda: build_report(store, snapshots, configs, drill=False),
+        rounds=20, iterations=1,
+    )
+    assert report.clean
+
+    cells = _cell_count(snapshots)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["cells_per_second"] = round(cells / mean, 2)
+    rows = [("diff", cells, f"{mean:.4f}", f"{cells / mean:.0f}")]
+    sweep_mean = _SWEEP_MEAN.get("seconds")
+    if sweep_mean:
+        ratio = mean / sweep_mean
+        benchmark.extra_info["diff_to_sweep_ratio"] = round(ratio, 6)
+        rows.append(
+            ("sweep", cells, f"{sweep_mean:.4f}", f"{cells / sweep_mean:.0f}")
+        )
+        rows.append(("diff/sweep", "", f"{ratio:.2%}", ""))
+    print_rows(
+        "Diff vs sweep cost (load baseline, verify digests, classify)",
+        ("Leg", "Cells", "Mean s", "Cells/s"),
+        rows,
+    )
+    # The gate's economics only hold if diffing is a rounding error
+    # next to sweeping.
+    if sweep_mean:
+        assert mean < sweep_mean / 10

@@ -78,7 +78,7 @@ def pytest_sessionfinish(session, exitstatus):
         if not bench:  # errored before producing any rounds
             continue
         stats = bench.stats
-        per_module.setdefault(_module_stem(bench.fullname), {})[bench.name] = {
+        entry = {
             "min_seconds": stats.min,
             "max_seconds": stats.max,
             "mean_seconds": stats.mean,
@@ -86,6 +86,12 @@ def pytest_sessionfinish(session, exitstatus):
             "rounds": stats.rounds,
             "iterations": bench.iterations,
         }
+        extra_info = getattr(bench, "extra_info", None)
+        if extra_info:
+            entry["extra"] = dict(extra_info)
+        per_module.setdefault(_module_stem(bench.fullname), {})[bench.name] = (
+            entry
+        )
     for name, metrics in sorted(per_module.items()):
         write_bench_json(name, metrics, seed=_MODULE_SEEDS.get(name))
 

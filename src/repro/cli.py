@@ -30,6 +30,8 @@ from repro.core import Campaign, CampaignConfig
 from repro.core.analysis import headline_numbers
 from repro.core.store import CheckpointMismatch
 from repro.frameworks.registry import CLIENT_IDS, SERVER_IDS, client_framework
+from repro.regress.baseline import BaselineError
+from repro.regress.diff import UnclassifiedDriftError
 from repro.reporting import (
     comparison_rows,
     render_fig4,
@@ -650,6 +652,75 @@ def cmd_invoke(args):
     return 0
 
 
+def cmd_regress(args):
+    from repro.regress import (
+        BaselineStore,
+        build_configs,
+        build_report,
+        run_sweeps,
+    )
+    from repro.reporting import regress_to_json, render_regress_report
+
+    from repro.core.canon import CAMPAIGN_KINDS
+
+    if args.campaigns:
+        requested = tuple(kind.strip() for kind in args.campaigns.split(","))
+        unknown = [kind for kind in requested if kind not in CAMPAIGN_KINDS]
+        if unknown:
+            valid = ", ".join(CAMPAIGN_KINDS)
+            print(f"error: unknown campaign kind(s) {', '.join(unknown)}; "
+                  f"valid kinds: {valid}", file=sys.stderr)
+            return 2
+        # Canonical report order regardless of how the CSV was written.
+        campaigns = tuple(k for k in CAMPAIGN_KINDS if k in requested)
+    else:
+        campaigns = CAMPAIGN_KINDS
+    if args.perturb and args.perturb not in campaigns:
+        print(f"error: --perturb {args.perturb!r} is not among the swept "
+              f"campaigns {', '.join(campaigns)}", file=sys.stderr)
+        return 2
+
+    configs = build_configs(
+        campaigns, _config_from(args), seed=args.seed, sample=args.sample,
+        payloads_per_class=args.payloads, mutants_per_config=args.mutants,
+    )
+    store = BaselineStore(args.baseline_dir)
+    if not args.accept:
+        # Surface a missing/corrupt baseline before paying for the sweep.
+        store.manifest()
+    started = time.time()
+    progress = _progress if args.verbose else None
+    pool_stats = {}
+    snapshots = run_sweeps(
+        campaigns, configs, workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir, progress=progress,
+        pool_stats=pool_stats,
+    )
+    for stats in pool_stats.values():
+        _print_pool_summary(stats)
+    print(f"regress sweep ({', '.join(campaigns)}) finished in "
+          f"{time.time() - started:.1f}s", file=sys.stderr)
+
+    if args.accept:
+        digests = store.accept(snapshots)
+        for kind in campaigns:
+            print(f"accepted {kind}: {digests[kind]}")
+        print(f"baseline promoted at {args.baseline_dir}", file=sys.stderr)
+        return 0
+
+    report = build_report(
+        store, snapshots, configs,
+        drill=not args.no_drill, drill_limit=args.drill_limit,
+        perturb=args.perturb, progress=progress,
+    )
+    print(render_regress_report(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(regress_to_json(report))
+        print(f"drift report written to {args.report}", file=sys.stderr)
+    return report.exit_code
+
+
 def cmd_matrix(args):
     from repro.core.matrix import render_matrix
 
@@ -929,6 +1000,74 @@ def build_parser():
     _add_pool_arguments(invoke_parser)
     invoke_parser.set_defaults(func=cmd_invoke)
 
+    regress_parser = sub.add_parser(
+        "regress",
+        help="run the sweep fleet, diff every matrix cell-by-cell against "
+        "the accepted baseline, and gate on drift (0 clean, 2 drift, "
+        "3 unclassified)",
+    )
+    regress_parser.add_argument(
+        "--baseline-dir", required=True,
+        help="baseline store directory (accept with --accept first)",
+    )
+    regress_parser.add_argument(
+        "--accept", action="store_true",
+        help="promote this sweep's matrices as the accepted baseline "
+        "(atomic: readers see the old baseline until the promote lands)",
+    )
+    regress_parser.add_argument(
+        "--campaigns",
+        help="comma-separated campaign kinds to sweep "
+        "(default: run,resilience,fuzz,invoke)",
+    )
+    regress_parser.add_argument("--quick", action="store_true",
+                                help="small corpora")
+    regress_parser.add_argument("--verbose", action="store_true")
+    regress_parser.add_argument(
+        "--seed", type=int, default=20140622,
+        help="shared sweep seed (same seed = byte-identical matrices)",
+    )
+    regress_parser.add_argument(
+        "--sample", type=int, default=2,
+        help="deployed services per server in each sweep",
+    )
+    regress_parser.add_argument(
+        "--payloads", type=int, default=1,
+        help="invoke sweep: payloads per (service, class) combination",
+    )
+    regress_parser.add_argument(
+        "--mutants", type=int, default=1,
+        help="fuzz sweep: mutants per (service, kind, intensity)",
+    )
+    regress_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per sweep; the drift report is "
+        "byte-identical for any worker count",
+    )
+    regress_parser.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint each sweep here (one subdirectory per campaign); "
+        "re-run to resume after interruption",
+    )
+    regress_parser.add_argument(
+        "--report", metavar="FILE",
+        help="write the canonical JSON drift report here (digest-stable)",
+    )
+    regress_parser.add_argument(
+        "--no-drill", action="store_true",
+        help="skip exchange/span drill-down of changed cells",
+    )
+    regress_parser.add_argument(
+        "--drill-limit", type=int, default=5,
+        help="changed cells drilled per campaign",
+    )
+    regress_parser.add_argument(
+        "--perturb", metavar="KIND",
+        help="self-test: deterministically perturb one fresh cell of KIND "
+        "before diffing (the gate must report exactly that cell)",
+    )
+    regress_parser.set_defaults(func=cmd_regress)
+
     matrix_parser = sub.add_parser(
         "matrix", help="print the interoperability verdict grid"
     )
@@ -1018,9 +1157,18 @@ def main(argv=None):
             return args.func(args)
     except CheckpointMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
-        print("hint: point --checkpoint-dir at an empty directory, or "
-              "re-run with the original campaign parameters", file=sys.stderr)
+        print(f"hint: {exc.hint}", file=sys.stderr)
         return 2
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"hint: {exc.hint}", file=sys.stderr)
+        return 2
+    except UnclassifiedDriftError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("this is a harness bug — the drift taxonomy failed to be "
+              "total; please report it with the two matrices involved",
+              file=sys.stderr)
+        return 3
     except KeyboardInterrupt as exc:
         name = exc.args[0] if exc.args else "SIGINT"
         print(f"interrupted ({name}): completed slices are flushed to the "

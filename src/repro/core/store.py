@@ -101,7 +101,16 @@ def result_from_obj(obj):
 
 
 class CheckpointMismatch(ValueError):
-    """A checkpoint directory belongs to a different campaign config."""
+    """A checkpoint directory belongs to a different campaign config.
+
+    ``hint`` tells the operator how to recover — the same remediation
+    style as :class:`repro.regress.baseline.BaselineError`.
+    """
+
+    hint = (
+        "point --checkpoint-dir at an empty directory, or re-run with "
+        "the original campaign parameters"
+    )
 
 
 def write_text_atomic(text, path):

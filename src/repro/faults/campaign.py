@@ -255,6 +255,10 @@ class ResilienceCampaign(LifecycleCampaign):
     :class:`FaultPlan` so the schedule is independent of execution order.
     """
 
+    #: Builds each cell's base transport; the regress drill-down swaps
+    #: in a recorder-wrapping factory to capture the cell's exchanges.
+    transport_factory = InMemoryHttpTransport
+
     def __init__(self, config=None):
         self.rconfig = config or ResilienceCampaignConfig()
         super().__init__(
@@ -428,7 +432,7 @@ class ResilienceCampaign(LifecycleCampaign):
                 slow_latency_ms=rconfig.slow_latency_ms,
                 base_latency_ms=rconfig.base_latency_ms,
             )
-            faulting = FaultingTransport(InMemoryHttpTransport(), plan)
+            faulting = FaultingTransport(self.transport_factory(), plan)
             resilient.inner = faulting
             outcome = run_full_lifecycle(
                 record, client, client_id=client_id, transport=resilient

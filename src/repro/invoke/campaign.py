@@ -275,6 +275,10 @@ class InvocationCampaign(LifecycleCampaign):
     client:class) quarantine entry so resumed sweeps skip them.
     """
 
+    #: Builds each cell's transport; the regress drill-down swaps in a
+    #: recorder-wrapping factory to capture the cell's exchanges.
+    transport_factory = InMemoryHttpTransport
+
     def __init__(self, config=None):
         self.iconfig = config or InvocationCampaignConfig()
         super().__init__(
@@ -419,7 +423,7 @@ class InvocationCampaign(LifecycleCampaign):
         """Drive the whole payload family through one (service, client)."""
         tracer = current_tracer()
         with tracer.span("cell", service=service_name, client=client_id) as span:
-            transport = InMemoryHttpTransport()
+            transport = self.transport_factory()
             gate = prepare_client_proxy(
                 record, client, client_id=client_id,
                 transport=transport, limits=limits,

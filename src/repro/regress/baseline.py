@@ -1,0 +1,251 @@
+"""Content-addressed baseline store for accepted campaign matrices.
+
+A baseline directory is the accepted truth a regression run diffs
+against::
+
+    baseline/
+      manifest.json            # commit point: kind -> {file, digest, fingerprint}
+      run-3f1c9a2b44de.json    # canonical snapshot, named by content digest
+      invoke-91ab07c3d2ef.json
+
+Each campaign snapshot (:func:`repro.core.canon.snapshot`) is written to
+a file named after its own sha256, and ``manifest.json`` — replaced
+atomically, last — is the only mutable entry.  Promotion (``--accept``)
+is therefore atomic for any number of campaigns: until the manifest
+rename lands, a reader sees the previous baseline in full; afterwards it
+sees the new one in full.
+
+Every load re-hashes the file against the manifest digest, so a
+truncated, tampered or hand-edited baseline is a *classified*
+:class:`BaselineError` with a remediation hint, never a JSON traceback
+deep inside the diff engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.core.canon import canonical_json, require_kind
+from repro.core.store import write_text_atomic
+
+_MANIFEST = "manifest.json"
+_FORMAT = 1
+
+#: The uniform remediation hint for an unusable baseline, mirroring the
+#: checkpoint-mismatch hint style (see ``CheckpointMismatch.hint``).
+REACCEPT_HINT = (
+    "if the change is intended, re-accept the baseline with "
+    "`wsinterop regress --accept --baseline-dir <dir>` (same sweep "
+    "parameters); otherwise restore the directory from version control"
+)
+
+
+class BaselineError(Exception):
+    """A baseline directory cannot be used, with a classified reason.
+
+    ``kind`` is one of :data:`BaselineError.KINDS`; ``hint`` tells the
+    operator how to recover instead of leaving them with a traceback.
+    """
+
+    MISSING = "missing"
+    CORRUPT = "corrupt"
+    TAMPERED = "tampered"
+    FINGERPRINT_MISMATCH = "fingerprint-mismatch"
+
+    KINDS = (MISSING, CORRUPT, TAMPERED, FINGERPRINT_MISMATCH)
+
+    def __init__(self, kind, message, hint=REACCEPT_HINT):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown baseline error kind {kind!r}")
+        super().__init__(message)
+        self.kind = kind
+        self.hint = hint
+
+
+def _sha256(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class BaselineStore:
+    """Reads and atomically promotes accepted campaign snapshots."""
+
+    def __init__(self, directory):
+        self.directory = directory
+
+    def _path(self, name):
+        return os.path.join(self.directory, name)
+
+    # -- reading ----------------------------------------------------------
+
+    def manifest(self):
+        """The manifest dict; classified errors when unusable."""
+        path = self._path(_MANIFEST)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise BaselineError(
+                BaselineError.MISSING,
+                f"no baseline at {self.directory!r} (manifest.json missing)",
+                hint="accept one first with `wsinterop regress --accept "
+                "--baseline-dir <dir>`",
+            )
+        except (OSError, ValueError) as exc:
+            raise BaselineError(
+                BaselineError.CORRUPT,
+                f"baseline manifest at {path!r} is unreadable: {exc}",
+            )
+        if not isinstance(manifest, dict) or manifest.get("format") != _FORMAT:
+            raise BaselineError(
+                BaselineError.CORRUPT,
+                f"baseline manifest at {path!r} has unsupported format "
+                f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r}",
+            )
+        campaigns = manifest.get("campaigns")
+        if not isinstance(campaigns, dict):
+            raise BaselineError(
+                BaselineError.CORRUPT,
+                f"baseline manifest at {path!r} carries no campaign table",
+            )
+        return manifest
+
+    def campaigns(self):
+        """Accepted campaign kinds, in manifest-sorted order."""
+        return sorted(self.manifest()["campaigns"])
+
+    def has(self, kind):
+        try:
+            return require_kind(kind) in self.manifest()["campaigns"]
+        except BaselineError:
+            return False
+
+    def digest(self, kind):
+        """The accepted snapshot digest for ``kind`` (from the manifest)."""
+        return self._entry(kind)["digest"]
+
+    def _entry(self, kind):
+        campaigns = self.manifest()["campaigns"]
+        if require_kind(kind) not in campaigns:
+            raise BaselineError(
+                BaselineError.MISSING,
+                f"baseline at {self.directory!r} has no accepted "
+                f"{kind!r} matrix",
+                hint="accept one first with `wsinterop regress --accept "
+                f"--baseline-dir <dir> --campaigns {kind}`",
+            )
+        entry = campaigns[kind]
+        if not isinstance(entry, dict) or not {"file", "digest"} <= set(entry):
+            raise BaselineError(
+                BaselineError.CORRUPT,
+                f"baseline manifest entry for {kind!r} is malformed: {entry!r}",
+            )
+        return entry
+
+    def load(self, kind):
+        """The accepted snapshot for ``kind``, digest-verified.
+
+        Truncation, tampering, missing files and format skew all raise
+        a classified :class:`BaselineError`; the digest check runs over
+        the raw bytes *before* JSON parsing, so a corrupt file is
+        reported as corruption even when it happens to stay parseable.
+        """
+        entry = self._entry(kind)
+        path = self._path(entry["file"])
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise BaselineError(
+                BaselineError.TAMPERED,
+                f"accepted {kind!r} snapshot {path!r} is gone: {exc}",
+            )
+        if _sha256(text) != entry["digest"]:
+            raise BaselineError(
+                BaselineError.TAMPERED,
+                f"accepted {kind!r} snapshot {path!r} does not match its "
+                f"manifest digest (truncated or edited baseline file)",
+            )
+        try:
+            snapshot = json.loads(text)
+        except ValueError as exc:
+            raise BaselineError(
+                BaselineError.CORRUPT,
+                f"accepted {kind!r} snapshot {path!r} is not JSON: {exc}",
+            )
+        if snapshot.get("format") != _FORMAT or snapshot.get("kind") != kind:
+            raise BaselineError(
+                BaselineError.CORRUPT,
+                f"accepted {kind!r} snapshot {path!r} has unexpected "
+                f"format/kind ({snapshot.get('format')!r}, "
+                f"{snapshot.get('kind')!r})",
+            )
+        return snapshot
+
+    def guard(self, kind, fingerprint):
+        """Reject a diff between incompatible sweep configurations.
+
+        A baseline accepted under one configuration (seed, corpus
+        quotas, sweep shape) must never be diffed against a sweep of a
+        different one — every cell would "drift".  Mirrors the
+        checkpoint fingerprint guard, with the same hint style.
+        """
+        accepted = self.load(kind)["fingerprint"]
+        if accepted != fingerprint:
+            raise BaselineError(
+                BaselineError.FINGERPRINT_MISMATCH,
+                f"baseline {kind!r} matrix was accepted under a different "
+                f"campaign configuration: {accepted!r} != {fingerprint!r}",
+                hint="re-run with the original sweep parameters, or "
+                "re-accept with `wsinterop regress --accept "
+                "--baseline-dir <dir>` under the new ones",
+            )
+        return accepted
+
+    # -- promoting --------------------------------------------------------
+
+    def accept(self, snapshots):
+        """Atomically promote ``snapshots`` (kind -> snapshot dict).
+
+        Campaigns not present in ``snapshots`` keep their previously
+        accepted entry.  Snapshot files are content-addressed and
+        written first; the manifest replace is the single commit point.
+        Returns ``{kind: digest}`` for the promoted campaigns.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        try:
+            campaigns = dict(self.manifest()["campaigns"])
+        except BaselineError:
+            campaigns = {}
+        digests = {}
+        for kind in sorted(snapshots):
+            require_kind(kind)
+            text = canonical_json(dict(snapshots[kind], format=_FORMAT, kind=kind))
+            digest = _sha256(text)
+            filename = f"{kind}-{digest[:12]}.json"
+            write_text_atomic(text, self._path(filename))
+            campaigns[kind] = {"file": filename, "digest": digest}
+            digests[kind] = digest
+        write_text_atomic(
+            canonical_json({"format": _FORMAT, "campaigns": campaigns}),
+            self._path(_MANIFEST),
+        )
+        self._collect_garbage(campaigns)
+        return digests
+
+    def _collect_garbage(self, campaigns):
+        """Drop snapshot files the manifest no longer references."""
+        live = {entry["file"] for entry in campaigns.values()}
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name == _MANIFEST or not name.endswith(".json"):
+                continue
+            if name not in live:
+                try:
+                    os.unlink(self._path(name))
+                except OSError:
+                    pass

@@ -30,6 +30,15 @@ from repro.reporting.profile import (
     stage_latency_rows,
     worker_utilization_rows,
 )
+from repro.reporting.regress import (
+    drift_rows,
+    regress_summary_rows,
+    regress_to_json,
+    render_drift_entries,
+    render_drilldown,
+    render_regress_report,
+    render_regress_summary,
+)
 from repro.reporting.resilience import (
     render_client_robustness,
     render_resilience_matrix,
@@ -69,6 +78,13 @@ __all__ = [
     "render_pool_summary",
     "render_profile",
     "render_quarantine",
+    "drift_rows",
+    "regress_summary_rows",
+    "regress_to_json",
+    "render_drift_entries",
+    "render_drilldown",
+    "render_regress_report",
+    "render_regress_summary",
     "render_resilience_matrix",
     "render_triage_summary",
     "slowest_services",

@@ -1,0 +1,126 @@
+"""Rendering of regress drift reports: changed cells only.
+
+The headline is the counter-delta summary (the view inherited from the
+retired ``core/diffing`` module); below it, one row per classified
+changed cell, and one drill-down block per drilled cell.  A clean run
+renders a single line — the report never restates the whole matrix.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.reporting.tables import render_table
+
+
+def regress_summary_rows(report):
+    """Counter-delta header rows: (campaign, metric, before, after, delta)."""
+    rows = []
+    for kind in report.campaigns:
+        for metric, (before, after) in sorted(
+            report.totals.get(kind, {}).items()
+        ):
+            delta = after - before
+            sign = "+" if delta > 0 else ""
+            rows.append((kind, metric, before, after, f"{sign}{delta}"))
+    return rows
+
+
+def render_regress_summary(report):
+    """The totals-delta header table (empty diff → one clean line)."""
+    rows = regress_summary_rows(report)
+    if not rows and report.clean:
+        campaigns = ", ".join(report.campaigns)
+        return f"regress: no drift ({campaigns} match the accepted baseline)"
+    if not rows:
+        # Cells moved while every headline counter balanced out.
+        return "regress: headline counters unchanged (cell-level drift below)"
+    return render_table(
+        ("Campaign", "Metric", "Baseline", "Current", "Delta"),
+        rows,
+        title="Drift summary: headline counter movements",
+    )
+
+
+def drift_rows(report):
+    """One row per changed cell, in the report's canonical order."""
+    rows = []
+    for entry in report.entries:
+        moved = "; ".join(
+            f"{metric} {before}->{after}"
+            for metric, before, after in entry.changed_metrics
+        )
+        rows.append(
+            (
+                entry.campaign,
+                entry.cell,
+                entry.drift.value,
+                entry.before["status"] if entry.before else "-",
+                entry.after["status"] if entry.after else "-",
+                moved or "-",
+            )
+        )
+    return rows
+
+
+def render_drift_entries(report):
+    if report.clean:
+        return ""
+    counts = ", ".join(
+        f"{name}: {count}" for name, count in sorted(report.counts().items())
+    )
+    return render_table(
+        ("Campaign", "Cell", "Drift", "Was", "Now", "Moved counters"),
+        drift_rows(report),
+        title=f"Changed cells ({len(report.entries)}) — {counts}",
+    )
+
+
+def render_drilldown(drilldown):
+    """One drill-down block: trace pointers, spans, exchanges, notes."""
+    lines = [
+        f"-- {drilldown.campaign} {drilldown.cell}",
+        f"   trace {drilldown.trace_id}  server-span {drilldown.server_span}",
+    ]
+    for note in drilldown.notes:
+        lines.append(f"   note: {note}")
+    for span in drilldown.spans:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span["attrs"].items())
+        )
+        notes = " ".join(
+            f"{key}={value}" for key, value in sorted(span["notes"].items())
+        )
+        detail = " ".join(part for part in (attrs, notes) if part)
+        lines.append(f"   span {span['id']} {span['name']} {detail}".rstrip())
+    for exchange in drilldown.exchanges:
+        lines.append(
+            f"   exchange {exchange['url']} -> {exchange['status']} "
+            f"(span {exchange['span_id']})"
+        )
+    if drilldown.exchanges_total > len(drilldown.exchanges):
+        lines.append(
+            f"   ... {drilldown.exchanges_total - len(drilldown.exchanges)} "
+            f"more exchanges recorded"
+        )
+    return "\n".join(lines)
+
+
+def render_regress_report(report):
+    """The full changed-cells-only drift report."""
+    blocks = [render_regress_summary(report)]
+    entries_block = render_drift_entries(report)
+    if entries_block:
+        blocks.append(entries_block)
+    for entry in report.entries:
+        drilldown = report.drilldowns.get((entry.campaign, entry.cell))
+        if drilldown is not None:
+            blocks.append(render_drilldown(drilldown))
+    if report.perturbation:
+        blocks.append(f"self-test perturbation applied: {report.perturbation}")
+    return "\n\n".join(blocks)
+
+
+def regress_to_json(report, indent=None):
+    """Canonical serialization: key-sorted, digest-stable, timing-free."""
+    return json.dumps(report.to_obj(), indent=indent, sort_keys=True)

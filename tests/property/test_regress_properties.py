@@ -1,0 +1,129 @@
+"""Property-based invariants of the drift diff engine.
+
+The gate's trustworthiness rests on three properties, checked here for
+all four campaign types over randomly generated canonical matrices:
+
+* reflexivity — ``diff(X, X)`` is empty;
+* canonical ordering — entries always come back sorted by cell key, so
+  the same pair of matrices renders a byte-identical report;
+* totality — every generated delta either lands in the closed taxonomy
+  or raises :class:`UnclassifiedDriftError`; no delta is silently
+  dropped.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canon import CAMPAIGN_KINDS, CELL_STATUSES
+from repro.regress.diff import (
+    DriftClass,
+    UnclassifiedDriftError,
+    classify_cell,
+    diff_matrices,
+    totals_delta,
+)
+
+#: Per-kind coordinate widths, matching the campaigns' cell keys.
+_KEY_PARTS = {"run": 2, "resilience": 4, "fuzz": 4, "invoke": 3}
+
+_METRICS = ("tests", "errors", "quarantined")
+
+campaign_kinds = st.sampled_from(CAMPAIGN_KINDS)
+
+
+def _cells(kind):
+    part = st.text(
+        alphabet="abcdefgh0123456789", min_size=1, max_size=4
+    )
+    key = st.builds(
+        "|".join, st.lists(
+            part, min_size=_KEY_PARTS[kind], max_size=_KEY_PARTS[kind]
+        )
+    )
+    cell = st.fixed_dictionaries(
+        {
+            "status": st.sampled_from(CELL_STATUSES),
+            "metrics": st.fixed_dictionaries(
+                {name: st.integers(min_value=0, max_value=9)
+                 for name in _METRICS}
+            ),
+        }
+    )
+    return st.dictionaries(key, cell, max_size=8)
+
+
+@st.composite
+def kind_and_matrices(draw):
+    kind = draw(campaign_kinds)
+    return kind, draw(_cells(kind)), draw(_cells(kind))
+
+
+@st.composite
+def kind_and_matrix(draw):
+    kind = draw(campaign_kinds)
+    return kind, draw(_cells(kind))
+
+
+class TestDiffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=kind_and_matrix())
+    def test_diff_x_x_is_empty(self, data):
+        kind, cells = data
+        assert diff_matrices(kind, cells, dict(cells)) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=kind_and_matrix())
+    def test_totals_delta_x_x_is_empty(self, data):
+        kind, cells = data
+        totals = {"tests": sum(
+            cell["metrics"]["tests"] for cell in cells.values()
+        )}
+        assert totals_delta(kind, totals, dict(totals)) == {}
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=kind_and_matrices())
+    def test_output_ordering_is_canonical(self, data):
+        kind, before, after = data
+        entries = diff_matrices(kind, before, after)
+        keys = [entry.cell for entry in entries]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=kind_and_matrices())
+    def test_every_delta_is_classified(self, data):
+        """Totality: each differing cell appears exactly once with one
+        of the six classes; identical cells never appear."""
+        kind, before, after = data
+        entries = diff_matrices(kind, before, after)
+        by_key = {entry.cell: entry for entry in entries}
+        for key in set(before) | set(after):
+            old, new = before.get(key), after.get(key)
+            if old == new:
+                assert key not in by_key
+            else:
+                assert by_key[key].drift in DriftClass
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=kind_and_matrices())
+    def test_diff_is_deterministic(self, data):
+        kind, before, after = data
+        first = diff_matrices(kind, before, after)
+        second = diff_matrices(kind, before, after)
+        assert [e.to_obj() for e in first] == [e.to_obj() for e in second]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        kind=campaign_kinds,
+        status=st.text(min_size=1, max_size=8).filter(
+            lambda s: s not in CELL_STATUSES
+        ),
+    )
+    def test_unknown_status_never_classifies(self, kind, status):
+        good = {"status": "pass", "metrics": {"tests": 1}}
+        bad = {"status": status, "metrics": {"tests": 1}}
+        try:
+            classify_cell(kind, "a|b|c|d"[: 2 * _KEY_PARTS[kind] - 1],
+                          good, bad)
+        except UnclassifiedDriftError:
+            return
+        raise AssertionError("unknown status escaped the taxonomy")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.appservers import GlassFish
-from repro.core.diffing import diff_results, diff_totals, results_equivalent
+from repro.regress.diff import diff_results, diff_totals, results_equivalent
 from repro.core.outcomes import ClientTestRecord, classify
 from repro.core.results import CampaignResult, ServerRunReport
 from repro.frameworks.client import SudsClient

@@ -1,0 +1,127 @@
+"""Unit tests for the ``wsinterop regress`` gate: exit codes and hints."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+#: Cheapest real sweep: one campaign kind, one service per server.
+ARGS = ["regress", "--quick", "--campaigns", "invoke",
+        "--sample", "1", "--payloads", "1"]
+
+
+def _baseline(tmp_path):
+    return str(tmp_path / "baseline")
+
+
+@pytest.fixture(scope="module")
+def accepted(tmp_path_factory):
+    """A module-shared accepted baseline for the quick invoke sweep."""
+    directory = str(tmp_path_factory.mktemp("regress") / "baseline")
+    assert main(ARGS + ["--baseline-dir", directory, "--accept"]) == 0
+    return directory
+
+
+class TestGate:
+    def test_missing_baseline_fails_before_sweeping(self, tmp_path, capsys):
+        rc = main(ARGS + ["--baseline-dir", _baseline(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no baseline" in err
+        assert "hint:" in err and "--accept" in err
+        # The pre-sweep check means no sweep banner was printed.
+        assert "finished in" not in err
+
+    def test_accept_then_clean_rerun(self, accepted, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        rc = main(ARGS + ["--baseline-dir", accepted,
+                          "--report", str(report_path)])
+        assert rc == 0
+        assert "no drift" in capsys.readouterr().out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["clean"] is True
+        assert report["entries"] == []
+        digests = report["digests"]["invoke"]
+        assert digests["baseline"] == digests["current"]
+
+    def test_perturbation_exits_2_with_one_new_failure(
+        self, accepted, tmp_path, capsys
+    ):
+        report_path = tmp_path / "drift.json"
+        rc = main(ARGS + ["--baseline-dir", accepted, "--perturb", "invoke",
+                          "--report", str(report_path)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "new-failure" in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert len(report["entries"]) == 1
+        entry = report["entries"][0]
+        assert entry["drift"] == "new-failure"
+        assert report["counts"] == {"new-failure": 1}
+        # The drill-down explains the cell: trace identity plus evidence.
+        drilldown = entry["drilldown"]
+        assert drilldown["trace_id"] and drilldown["server_span"]
+        assert drilldown["spans"] or drilldown["exchanges"]
+
+    def test_no_drill_skips_drilldown(self, accepted, tmp_path, capsys):
+        report_path = tmp_path / "drift.json"
+        rc = main(ARGS + ["--baseline-dir", accepted, "--perturb", "invoke",
+                          "--no-drill", "--report", str(report_path)])
+        assert rc == 2
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["entries"][0]["drilldown"] is None
+
+    def test_tampered_baseline_exits_2_with_hint(
+        self, accepted, tmp_path, capsys
+    ):
+        import os
+        import shutil
+
+        tampered = str(tmp_path / "tampered")
+        shutil.copytree(accepted, tampered)
+        manifest = json.loads(
+            open(os.path.join(tampered, "manifest.json"), encoding="utf-8").read()
+        )
+        name = manifest["campaigns"]["invoke"]["file"]
+        path = os.path.join(tampered, name)
+        text = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        rc = main(ARGS + ["--baseline-dir", tampered])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "digest" in err or "truncated" in err
+        assert "re-accept" in err
+
+    def test_unclassified_drift_exits_3(
+        self, accepted, monkeypatch, capsys
+    ):
+        import repro.regress
+        from repro.regress.diff import UnclassifiedDriftError
+
+        def explode(*args, **kwargs):
+            raise UnclassifiedDriftError("invoke", "s|c|k", "novel delta")
+
+        monkeypatch.setattr(repro.regress, "build_report", explode)
+        rc = main(ARGS + ["--baseline-dir", accepted])
+        assert rc == 3
+        assert "harness bug" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    def test_unknown_campaign_kind(self, tmp_path, capsys):
+        rc = main(["regress", "--baseline-dir", _baseline(tmp_path),
+                   "--campaigns", "run,banana"])
+        assert rc == 2
+        assert "banana" in capsys.readouterr().err
+
+    def test_perturb_must_be_swept(self, tmp_path, capsys):
+        rc = main(["regress", "--baseline-dir", _baseline(tmp_path),
+                   "--campaigns", "run", "--perturb", "fuzz"])
+        assert rc == 2
+        assert "--perturb" in capsys.readouterr().err
+
+    def test_baseline_dir_required(self):
+        with pytest.raises(SystemExit):
+            main(["regress"])

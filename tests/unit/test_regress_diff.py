@@ -1,0 +1,172 @@
+"""Unit tests for the total drift taxonomy and the diff engine."""
+
+import pytest
+
+from repro.core.canon import CAMPAIGN_KINDS, FAILURE_METRIC
+from repro.regress.diff import (
+    DriftClass,
+    UnclassifiedDriftError,
+    classify_cell,
+    diff_matrices,
+    perturb_matrix,
+    totals_delta,
+)
+
+
+def _cell(status="pass", **metrics):
+    return {"status": status, "metrics": dict(metrics) or {"tests": 1}}
+
+
+class TestTaxonomy:
+    def test_identical_cells_do_not_drift(self):
+        assert classify_cell("run", "a|b", _cell(), _cell()) is None
+
+    def test_new_failure(self):
+        entry = classify_cell(
+            "run", "a|b", _cell("pass", errors=0), _cell("fail", errors=1)
+        )
+        assert entry.drift is DriftClass.NEW_FAILURE
+        assert entry.changed_metrics == (("errors", 0, 1),)
+
+    def test_fixed(self):
+        entry = classify_cell(
+            "run", "a|b", _cell("fail", errors=2), _cell("pass", errors=0)
+        )
+        assert entry.drift is DriftClass.FIXED
+
+    def test_status_changed_covers_quarantine_moves(self):
+        for old, new in (
+            ("pass", "quarantined"),
+            ("quarantined", "pass"),
+            ("fail", "quarantined"),
+            ("quarantined", "fail"),
+        ):
+            entry = classify_cell(
+                "fuzz", "k", _cell(old, q=0), _cell(new, q=1)
+            )
+            assert entry.drift is DriftClass.STATUS_CHANGED, (old, new)
+
+    def test_fidelity_changed(self):
+        entry = classify_cell(
+            "invoke", "k", _cell("pass", coerced=0, tests=3),
+            _cell("pass", coerced=2, tests=3),
+        )
+        assert entry.drift is DriftClass.FIDELITY_CHANGED
+        assert entry.changed_metrics == (("coerced", 0, 2),)
+
+    def test_new_and_removed_cell(self):
+        assert classify_cell("run", "k", None, _cell()).drift is (
+            DriftClass.NEW_CELL
+        )
+        assert classify_cell("run", "k", _cell(), None).drift is (
+            DriftClass.REMOVED_CELL
+        )
+
+    def test_entry_str_and_obj(self):
+        entry = classify_cell(
+            "run", "a|b", _cell("pass", errors=0), _cell("fail", errors=1)
+        )
+        assert "new-failure" in str(entry) and "errors: 0 -> 1" in str(entry)
+        obj = entry.to_obj()
+        assert obj["drift"] == "new-failure"
+        assert obj["changed_metrics"] == [["errors", 0, 1]]
+
+
+class TestTotality:
+    """Anything outside the canonical form must raise, never skip."""
+
+    def test_both_sides_missing(self):
+        with pytest.raises(UnclassifiedDriftError):
+            classify_cell("run", "k", None, None)
+
+    def test_unknown_status(self):
+        with pytest.raises(UnclassifiedDriftError, match="unknown cell status"):
+            classify_cell("run", "k", _cell(), _cell("exploded"))
+
+    def test_non_canonical_shape(self):
+        with pytest.raises(UnclassifiedDriftError, match="canonical form"):
+            classify_cell("run", "k", _cell(), {"status": "pass"})
+
+    def test_non_integer_metrics(self):
+        with pytest.raises(UnclassifiedDriftError, match="non-integer"):
+            classify_cell(
+                "run", "k", _cell(), {"status": "pass", "metrics": {"x": 0.5}}
+            )
+        with pytest.raises(UnclassifiedDriftError, match="non-integer"):
+            classify_cell(
+                "run", "k", _cell(), {"status": "pass", "metrics": {"x": True}}
+            )
+
+    def test_metric_schema_skew(self):
+        with pytest.raises(UnclassifiedDriftError, match="metric sets differ"):
+            classify_cell(
+                "run", "k", _cell("pass", old_name=1), _cell("pass", new_name=1)
+            )
+
+    def test_error_carries_coordinates(self):
+        with pytest.raises(UnclassifiedDriftError) as excinfo:
+            classify_cell("fuzz", "a|b|c|d", _cell(), _cell("exploded"))
+        assert excinfo.value.campaign == "fuzz"
+        assert excinfo.value.cell == "a|b|c|d"
+
+
+class TestDiffMatrices:
+    def test_empty_on_identical(self):
+        cells = {"b|x": _cell(), "a|y": _cell("fail", e=1)}
+        assert diff_matrices("run", cells, dict(cells)) == []
+
+    def test_canonical_ordering(self):
+        before = {key: _cell("pass", e=0) for key in ("z|1", "a|2", "m|3")}
+        after = {key: _cell("fail", e=1) for key in ("z|1", "a|2", "m|3")}
+        entries = diff_matrices("run", before, after)
+        assert [entry.cell for entry in entries] == ["a|2", "m|3", "z|1"]
+
+    def test_one_sided_cells(self):
+        entries = diff_matrices(
+            "run", {"only-old": _cell()}, {"only-new": _cell()}
+        )
+        assert [(e.cell, e.drift) for e in entries] == [
+            ("only-new", DriftClass.NEW_CELL),
+            ("only-old", DriftClass.REMOVED_CELL),
+        ]
+
+
+class TestTotalsDelta:
+    def test_moved_counters_only(self):
+        delta = totals_delta(
+            "run", {"a": 1, "b": 2, "c": 3}, {"a": 1, "b": 5, "c": 0}
+        )
+        assert delta == {"b": (2, 5), "c": (3, 0)}
+
+    def test_key_skew_raises(self):
+        with pytest.raises(UnclassifiedDriftError, match="counter sets"):
+            totals_delta("run", {"a": 1}, {"b": 1})
+
+
+class TestPerturbMatrix:
+    @pytest.mark.parametrize("kind", CAMPAIGN_KINDS)
+    def test_first_passing_cell_becomes_new_failure(self, kind):
+        metric = FAILURE_METRIC[kind]
+        cells = {
+            "b|cell": _cell("pass", **{metric: 0}),
+            "a|cell": _cell("fail", **{metric: 3}),
+        }
+        perturbed, description = perturb_matrix(kind, cells)
+        entries = diff_matrices(kind, cells, perturbed)
+        assert len(entries) == 1
+        assert entries[0].cell == "b|cell"
+        assert entries[0].drift is DriftClass.NEW_FAILURE
+        assert "b|cell" in description and metric in description
+        # The input map stayed untouched.
+        assert cells["b|cell"]["status"] == "pass"
+
+    def test_all_failing_falls_back_to_fidelity(self):
+        cells = {"a": _cell("fail", parser_crash=1)}
+        perturbed, _ = perturb_matrix("fuzz", cells)
+        entries = diff_matrices("fuzz", cells, perturbed)
+        assert len(entries) == 1
+        assert entries[0].drift is DriftClass.FIDELITY_CHANGED
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            perturb_matrix("run", {})
