@@ -1,0 +1,71 @@
+"""Wire transport — socket overhead against the in-memory baseline.
+
+Times a quick-quota invocation sweep over real loopback sockets and
+checks the two claims the wire transport exists to make observable:
+the canonical matrix is *byte-identical* to the in-memory sweep (real
+wall time is confined to trace artifacts, never the matrix), and the
+per-request socket overhead stays in the interactive range — the wire
+stack is a parity check, not a load generator.
+"""
+
+import time
+
+from conftest import print_rows
+
+from repro.core import CampaignConfig, canon
+from repro.invoke import InvocationCampaign, InvocationCampaignConfig
+from repro.typesystem import QUICK_DOTNET_QUOTAS, QUICK_JAVA_QUOTAS
+
+#: payload-draw seed, recorded in BENCH_wire.json
+BENCH_SEED = 20140622
+
+
+def _config(transport):
+    return InvocationCampaignConfig(
+        base=CampaignConfig(
+            java_quotas=QUICK_JAVA_QUOTAS,
+            dotnet_quotas=QUICK_DOTNET_QUOTAS,
+            transport=transport,
+        ),
+        seed=BENCH_SEED,
+        sample_per_server=4,
+    )
+
+
+def test_wire_invoke_sweep(benchmark):
+    wire_config = _config("wire")
+    campaign = InvocationCampaign(wire_config)
+    wire_result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    started = time.perf_counter()
+    memory_result = InvocationCampaign(_config("memory")).run()
+    memory_seconds = time.perf_counter() - started
+
+    wire_matrix = canon.canonical_matrix("invoke", wire_result)
+    memory_matrix = canon.canonical_matrix("invoke", memory_result)
+    wire_seconds = benchmark.stats.stats.min
+    requests = wire_result.totals()["payloads"]
+    overhead_us = (
+        (wire_seconds - memory_seconds) / requests * 1e6 if requests else 0.0
+    )
+    print_rows(
+        "Wire vs in-memory invocation sweep (quick quotas)",
+        ("Metric", "Memory", "Wire"),
+        [
+            ("sweep seconds", f"{memory_seconds:.3f}", f"{wire_seconds:.3f}"),
+            ("matrix digest", canon.matrix_digest(memory_matrix)[:12],
+             canon.matrix_digest(wire_matrix)[:12]),
+        ],
+    )
+    print()
+    print(f"socket overhead: {overhead_us:.0f} us/request over "
+          f"{requests} requests")
+    benchmark.extra_info["requests"] = requests
+    benchmark.extra_info["overhead_us_per_request"] = round(overhead_us, 1)
+
+    assert requests > 0
+    # The keystone: byte parity — real sockets change timings, not bytes.
+    assert wire_matrix == memory_matrix
+    # Loopback round-trips cost real time but must stay interactive:
+    # well under 10 ms per request even on a loaded CI box.
+    assert overhead_us < 10_000

@@ -54,11 +54,13 @@ from repro.wsi import check_document
 
 
 def _config_from(args):
+    transport = getattr(args, "transport", "memory") or "memory"
     if getattr(args, "quick", False):
         return CampaignConfig(
-            java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS
+            java_quotas=QUICK_JAVA_QUOTAS, dotnet_quotas=QUICK_DOTNET_QUOTAS,
+            transport=transport,
         )
-    return CampaignConfig()
+    return CampaignConfig(transport=transport)
 
 
 def _progress(message):
@@ -404,6 +406,8 @@ def cmd_resilience(args):
         FaultKind,
         ResilienceCampaign,
         ResilienceCampaignConfig,
+        WireFaultKind,
+        fault_kind_of,
     )
     from repro.reporting import (
         render_client_robustness,
@@ -414,14 +418,22 @@ def cmd_resilience(args):
     try:
         if args.kinds:
             kinds = tuple(
-                FaultKind(kind.strip()) for kind in args.kinds.split(",")
+                fault_kind_of(kind.strip()) for kind in args.kinds.split(",")
             )
         else:
             kinds = tuple(FaultKind)
     except ValueError:
         valid = ", ".join(kind.value for kind in FaultKind)
+        wire_valid = ", ".join(kind.value for kind in WireFaultKind)
         print(f"error: unknown fault kind in {args.kinds!r}; "
-              f"valid kinds: {valid}", file=sys.stderr)
+              f"valid kinds: {valid}; "
+              f"wire-only kinds (--transport wire): {wire_valid}",
+              file=sys.stderr)
+        return 2
+    wire_kinds = [k.value for k in kinds if isinstance(k, WireFaultKind)]
+    if wire_kinds and getattr(args, "transport", "memory") != "wire":
+        print(f"error: fault kind(s) {', '.join(wire_kinds)} exist only on "
+              f"the wire; re-run with --transport wire", file=sys.stderr)
         return 2
     try:
         rates = tuple(float(rate) for rate in args.rates.split(","))
@@ -652,6 +664,20 @@ def cmd_invoke(args):
     return 0
 
 
+def _git_rev():
+    """Best-effort short git revision for the accept history; "" offline."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
 def cmd_regress(args):
     from repro.regress import (
         BaselineStore,
@@ -659,10 +685,17 @@ def cmd_regress(args):
         build_report,
         run_sweeps,
     )
-    from repro.reporting import regress_to_json, render_regress_report
+    from repro.reporting import (
+        regress_to_json,
+        render_accept_history,
+        render_regress_report,
+    )
 
     from repro.core.canon import CAMPAIGN_KINDS
 
+    if args.history:
+        print(render_accept_history(BaselineStore(args.baseline_dir).history()))
+        return 0
     if args.campaigns:
         requested = tuple(kind.strip() for kind in args.campaigns.split(","))
         unknown = [kind for kind in requested if kind not in CAMPAIGN_KINDS]
@@ -702,7 +735,11 @@ def cmd_regress(args):
           f"{time.time() - started:.1f}s", file=sys.stderr)
 
     if args.accept:
-        digests = store.accept(snapshots)
+        timestamp = args.accepted_at or time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        digests = store.accept(snapshots, timestamp=timestamp,
+                               git_rev=_git_rev())
         for kind in campaigns:
             print(f"accepted {kind}: {digests[kind]}")
         print(f"baseline promoted at {args.baseline_dir}", file=sys.stderr)
@@ -808,6 +845,15 @@ def cmd_profile(args):
     return 0
 
 
+def _add_transport_argument(parser):
+    parser.add_argument(
+        "--transport", choices=("memory", "wire"), default="memory",
+        help="step-4/5 exchange carrier: the in-memory router (default) or "
+        "real loopback HTTP sockets; matrices are byte-identical by "
+        "contract, so either gates against the same baseline",
+    )
+
+
 def _add_pool_arguments(parser, shards=False):
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -865,6 +911,7 @@ def build_parser():
         "--checkpoint-dir",
         help="checkpoint each completed server here; re-run to resume",
     )
+    _add_transport_argument(run_parser)
     _add_pool_arguments(run_parser, shards=True)
     run_parser.set_defaults(func=cmd_run)
 
@@ -901,6 +948,7 @@ def build_parser():
         "--checkpoint-dir",
         help="checkpoint each completed server here; re-run to resume",
     )
+    _add_transport_argument(resilience_parser)
     _add_pool_arguments(resilience_parser)
     resilience_parser.set_defaults(func=cmd_resilience)
 
@@ -997,6 +1045,7 @@ def build_parser():
         help="checkpoint each completed server here; re-run to resume "
         "(quarantined cells stay quarantined)",
     )
+    _add_transport_argument(invoke_parser)
     _add_pool_arguments(invoke_parser)
     invoke_parser.set_defaults(func=cmd_invoke)
 
@@ -1066,6 +1115,17 @@ def build_parser():
         help="self-test: deterministically perturb one fresh cell of KIND "
         "before diffing (the gate must report exactly that cell)",
     )
+    regress_parser.add_argument(
+        "--history", action="store_true",
+        help="list the baseline's accept history (timestamp, campaign, "
+        "digest, git revision) and exit without sweeping",
+    )
+    regress_parser.add_argument(
+        "--accepted-at", metavar="TIMESTAMP",
+        help="timestamp recorded with --accept (default: current UTC time); "
+        "pass a fixed value for reproducible accept histories",
+    )
+    _add_transport_argument(regress_parser)
     regress_parser.set_defaults(func=cmd_regress)
 
     matrix_parser = sub.add_parser(

@@ -53,6 +53,14 @@ class CampaignConfig:
     #: to simulate a tool with one of its documented bugs repaired
     #: (e.g. ``{"axis1": {"throwable_wrapper_bug": False}}``).
     client_flag_overrides: dict = field(default_factory=dict)
+    #: Which transport carries step-4/5 exchanges: ``"memory"`` (the
+    #: in-memory dict router) or ``"wire"`` (real loopback sockets via
+    #: :class:`repro.runtime.wire.WireTransport`).  Deliberately absent
+    #: from every fingerprint — the transports are byte-identical by
+    #: contract, so a wire sweep gates against a memory-accepted
+    #: baseline and any divergence is a reportable drift, not a
+    #: fingerprint mismatch.
+    transport: str = "memory"
 
 
 class Campaign:

@@ -16,6 +16,11 @@ vanishing — a poisoned cell that later heals must show up as drift.
 
 Nothing timing-related enters the canonical form, so two byte-identical
 sweeps canonicalize to byte-identical matrices for any worker count.
+The transport carrying step-4/5 exchanges (in-memory or wire) is
+likewise invisible here *and* in every campaign fingerprint: the two
+transports are byte-identical by contract, so a wire sweep gates
+against a memory-accepted baseline and any divergence between them
+surfaces as reportable drift, never as a fingerprint mismatch.
 """
 
 from __future__ import annotations

@@ -10,6 +10,9 @@ degrade gracefully:
   reproducible per-request fault schedule;
 * :mod:`repro.faults.transport` — a chaos wrapper over any transport
   that injects the scheduled faults;
+* :mod:`repro.faults.wire` — socket-level fault injection (reset,
+  slowloris, half-close, garbage framing, …) the in-memory wrapper
+  cannot express, for sweeps running over the wire transport;
 * :mod:`repro.faults.policies` — per-client resilience policies (which
   2013-era stacks retried, which just died);
 * :mod:`repro.faults.campaign` — the fault-rate sweep producing
@@ -33,6 +36,7 @@ from repro.faults.campaign import (
     ResilienceCampaignConfig,
     ResilienceCampaignResult,
     ResilienceCellStats,
+    fault_kind_of,
     fuzz_result_from_obj,
     fuzz_result_to_obj,
     resilience_result_from_obj,
@@ -47,12 +51,19 @@ from repro.faults.corpus import (
 from repro.faults.plan import DEFAULT_FAULT_KINDS, FaultEvent, FaultKind, FaultPlan
 from repro.faults.policies import CLIENT_POLICIES, policy_for
 from repro.faults.transport import FaultingTransport
+from repro.faults.wire import (
+    DEFAULT_WIRE_FAULT_KINDS,
+    WireFaultingTransport,
+    WireFaultKind,
+    WireFaultPlan,
+)
 
 __all__ = [
     "CLIENT_POLICIES",
     "DEFAULT_FAULT_KINDS",
     "DEFAULT_INTENSITIES",
     "DEFAULT_MUTATION_KINDS",
+    "DEFAULT_WIRE_FAULT_KINDS",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
@@ -67,7 +78,11 @@ __all__ = [
     "ResilienceCampaignConfig",
     "ResilienceCampaignResult",
     "ResilienceCellStats",
+    "WireFaultKind",
+    "WireFaultPlan",
+    "WireFaultingTransport",
     "WsdlMutator",
+    "fault_kind_of",
     "fuzz_result_from_obj",
     "fuzz_result_to_obj",
     "policy_for",

@@ -35,9 +35,16 @@ from repro.faults.corpus import DEFAULT_MUTATION_KINDS, MutationKind, WsdlMutato
 from repro.faults.plan import DEFAULT_FAULT_KINDS, FaultKind, FaultPlan, derive_seed
 from repro.faults.policies import policy_for
 from repro.faults.transport import FaultingTransport
+from repro.faults.wire import WireFaultingTransport, WireFaultKind, WireFaultPlan
 from repro.frameworks.registry import all_client_frameworks
 from repro.obs.trace import current_tracer
-from repro.runtime import InMemoryHttpTransport, ResilientTransport, run_full_lifecycle
+from repro.runtime import (
+    InMemoryHttpTransport,
+    ResilientTransport,
+    close_transport,
+    run_full_lifecycle,
+)
+from repro.runtime.wire import transport_factory_for
 from repro.runtime.guard import GuardedStep, GuardLimits, TriageBucket
 from repro.wsdl.reader import read_wsdl
 from repro.xmlcore import parse as parse_xml
@@ -46,6 +53,22 @@ _RESULT_FORMAT = 1
 
 #: Default rate sweep: a light drizzle and a heavy storm.
 DEFAULT_RATES = (0.15, 0.35)
+
+
+def fault_kind_of(kind):
+    """Coerce ``kind`` to its enum: in-memory or wire fault taxonomy.
+
+    The resilience sweep accepts both :class:`FaultKind` (response-level
+    chaos any transport can express) and :class:`WireFaultKind`
+    (socket-level pathologies); values are disjoint so a string coerces
+    unambiguously.
+    """
+    if isinstance(kind, (FaultKind, WireFaultKind)):
+        return kind
+    try:
+        return FaultKind(kind)
+    except ValueError:
+        return WireFaultKind(kind)
 
 
 @dataclass
@@ -67,7 +90,7 @@ class ResilienceCampaignConfig:
             "seed": self.seed,
             "servers": list(self.base.server_ids),
             "clients": list(self.base.client_ids),
-            "kinds": [FaultKind(kind).value for kind in self.fault_kinds],
+            "kinds": [fault_kind_of(kind).value for kind in self.fault_kinds],
             "rates": [repr(float(rate)) for rate in self.rates],
             "sample": self.sample_per_server,
             "slow_latency_ms": self.slow_latency_ms,
@@ -137,7 +160,7 @@ class ResilienceCellStats:
 
 
 def _cell_key(server_id, client_id, kind, rate):
-    return (server_id, client_id, FaultKind(kind).value, repr(float(rate)))
+    return (server_id, client_id, fault_kind_of(kind).value, repr(float(rate)))
 
 
 @dataclass
@@ -167,7 +190,7 @@ class ResilienceCampaignResult:
 
     def by_fault_kind(self, kind):
         """All cells of one fault kind: (server, client, rate) → stats."""
-        kind = FaultKind(kind).value
+        kind = fault_kind_of(kind).value
         return {
             (server, client, rate): cell
             for (server, client, cell_kind, rate), cell in self.cells.items()
@@ -176,7 +199,7 @@ class ResilienceCampaignResult:
 
     def client_survival(self, kind, rate):
         """Per-client survival rate across servers for one fault config."""
-        kind = FaultKind(kind).value
+        kind = fault_kind_of(kind).value
         rate = repr(float(rate))
         out = {}
         for client_id in self.client_ids:
@@ -261,6 +284,9 @@ class ResilienceCampaign(LifecycleCampaign):
 
     def __init__(self, config=None):
         self.rconfig = config or ResilienceCampaignConfig()
+        self.transport_factory = transport_factory_for(
+            self.rconfig.base.transport
+        )
         super().__init__(
             self.rconfig.base,
             sample_per_server=self.rconfig.sample_per_server,
@@ -280,7 +306,9 @@ class ResilienceCampaign(LifecycleCampaign):
         result = ResilienceCampaignResult(
             server_ids=tuple(base.server_ids),
             client_ids=tuple(base.client_ids),
-            fault_kinds=tuple(FaultKind(kind).value for kind in rconfig.fault_kinds),
+            fault_kinds=tuple(
+                fault_kind_of(kind).value for kind in rconfig.fault_kinds
+            ),
             rates=tuple(repr(float(rate)) for rate in rconfig.rates),
             seed=rconfig.seed,
         )
@@ -341,7 +369,7 @@ class ResilienceCampaign(LifecycleCampaign):
 
             server_cells = {}
             for kind in rconfig.fault_kinds:
-                kind = FaultKind(kind)
+                kind = fault_kind_of(kind)
                 for rate in rconfig.rates:
                     for client_id, client in clients.items():
                         cell = result.ensure_cell(
@@ -423,20 +451,36 @@ class ResilienceCampaign(LifecycleCampaign):
             ),
         )
         for record in selected:
-            plan = FaultPlan.single(
-                derive_seed(
-                    rconfig.seed, server_id, client_id, kind.value,
-                    repr(float(rate)), record.service.name,
-                ),
-                kind, rate,
-                slow_latency_ms=rconfig.slow_latency_ms,
-                base_latency_ms=rconfig.base_latency_ms,
+            seed = derive_seed(
+                rconfig.seed, server_id, client_id, kind.value,
+                repr(float(rate)), record.service.name,
             )
-            faulting = FaultingTransport(self.transport_factory(), plan)
+            if isinstance(kind, WireFaultKind):
+                faulting = WireFaultingTransport(
+                    self.transport_factory(),
+                    WireFaultPlan.single(
+                        seed, kind, rate,
+                        base_latency_ms=rconfig.base_latency_ms,
+                    ),
+                )
+            else:
+                faulting = FaultingTransport(
+                    self.transport_factory(),
+                    FaultPlan.single(
+                        seed, kind, rate,
+                        slow_latency_ms=rconfig.slow_latency_ms,
+                        base_latency_ms=rconfig.base_latency_ms,
+                    ),
+                )
             resilient.inner = faulting
-            outcome = run_full_lifecycle(
-                record, client, client_id=client_id, transport=resilient
-            )
+            try:
+                outcome = run_full_lifecycle(
+                    record, client, client_id=client_id, transport=resilient
+                )
+            finally:
+                # Reclaims the wire listener socket and its accept
+                # thread per record; a no-op for the in-memory stack.
+                close_transport(faulting)
             cell.add(outcome)
             cell.faults_injected += faulting.total_faults_injected
         cell.retries += resilient.retries_performed

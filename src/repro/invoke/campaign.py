@@ -26,6 +26,7 @@ from repro.core.store import QuarantineRegistry
 from repro.frameworks.registry import all_client_frameworks
 from repro.invoke.fidelity import (
     Fidelity,
+    Triage,
     classify_failure,
     compare_roundtrip,
 )
@@ -35,10 +36,12 @@ from repro.invoke.payloads import (
     PayloadGenerator,
     request_shape,
 )
+from repro.invoke.response import ResponseTap, validate_response
 from repro.obs.trace import current_tracer
-from repro.runtime import InMemoryHttpTransport
+from repro.runtime import InMemoryHttpTransport, close_transport
 from repro.runtime.guard import GuardLimits, GuardedStep
 from repro.runtime.lifecycle import prepare_client_proxy
+from repro.runtime.wire import transport_factory_for
 
 _INVOKE_FORMAT = 1
 
@@ -104,6 +107,11 @@ class InvocationCellStats:
     quarantined: int = 0
     #: Subset of ``fault`` that escaped classification (harness bugs).
     unclassified: int = 0
+    #: Overlay: round trips whose *raw* echoed body violated the
+    #: response schema (:mod:`repro.invoke.response`), regardless of
+    #: what the client decoded.  Each one also downgrades a lossless
+    #: triage to COERCED, so the overlay never hides in a clean cell.
+    schema_violations: int = 0
 
     _FIDELITY_FIELDS = {
         Fidelity.LOSSLESS: "lossless",
@@ -220,6 +228,7 @@ class InvocationCampaignResult:
             "client_reject",
             "quarantined",
             "unclassified",
+            "schema_violations",
         )
         totals = dict.fromkeys(keys, 0)
         for cell in self.cells.values():
@@ -281,6 +290,9 @@ class InvocationCampaign(LifecycleCampaign):
 
     def __init__(self, config=None):
         self.iconfig = config or InvocationCampaignConfig()
+        self.transport_factory = transport_factory_for(
+            self.iconfig.base.transport
+        )
         super().__init__(
             self.iconfig.base,
             sample_per_server=self.iconfig.sample_per_server,
@@ -423,50 +435,73 @@ class InvocationCampaign(LifecycleCampaign):
         """Drive the whole payload family through one (service, client)."""
         tracer = current_tracer()
         with tracer.span("cell", service=service_name, client=client_id) as span:
-            transport = self.transport_factory()
-            gate = prepare_client_proxy(
-                record, client, client_id=client_id,
-                transport=transport, limits=limits,
-            )
-            if not gate.ok:
-                gate_stats["gate_failed"] += 1
-                span.annotate(gate="failed", detail=gate.failure.detail[:120])
-                return
-            gate_stats["invoked"] += 1
-            operation = gate.document.operations[0].name
-            for payload in payloads:
-                cell = result.ensure_cell(
-                    server_id, client_id, payload.payload_class
+            transport = ResponseTap(self.transport_factory())
+            try:
+                self._invoke_payloads(
+                    transport, server_id, service_name, record, client_id,
+                    client, payloads, shape, limits, result, server_cells,
+                    gate_stats, quarantine, span,
                 )
-                server_cells[
-                    _invoke_cell_key(server_id, client_id, payload.payload_class)
-                ] = cell
-                qclient = _quarantine_client(client_id, payload.payload_class)
-                with tracer.span(
-                    "invoke", payload=payload.label, digest=payload.digest,
-                ) as invoke_span:
-                    if quarantine.contains(server_id, service_name, qclient):
-                        cell.add_quarantined()
-                        invoke_span.annotate(quarantined=True)
-                        continue
-                    verdict = GuardedStep(
-                        "invoke", gate.proxy.invoke, limits=limits
-                    ).run(operation, payload.values)
-                    if verdict.ok:
-                        triage = compare_roundtrip(
-                            payload.values, verdict.value, shape
-                        )
-                    else:
-                        triage = classify_failure(verdict)
-                    cell.add(triage)
-                    invoke_span.annotate(fidelity=triage.fidelity.value)
-                    if triage.detail:
-                        invoke_span.annotate(detail=triage.detail[:120])
-                if triage.fatal:
-                    quarantine.poison(
-                        server_id, service_name, qclient,
-                        triage.fidelity.value, triage.detail,
+            finally:
+                close_transport(transport)
+
+    def _invoke_payloads(self, transport, server_id, service_name, record,
+                         client_id, client, payloads, shape, limits, result,
+                         server_cells, gate_stats, quarantine, span):
+        tracer = current_tracer()
+        gate = prepare_client_proxy(
+            record, client, client_id=client_id,
+            transport=transport, limits=limits,
+        )
+        if not gate.ok:
+            gate_stats["gate_failed"] += 1
+            span.annotate(gate="failed", detail=gate.failure.detail[:120])
+            return
+        gate_stats["invoked"] += 1
+        operation = gate.document.operations[0].name
+        for payload in payloads:
+            cell = result.ensure_cell(
+                server_id, client_id, payload.payload_class
+            )
+            server_cells[
+                _invoke_cell_key(server_id, client_id, payload.payload_class)
+            ] = cell
+            qclient = _quarantine_client(client_id, payload.payload_class)
+            with tracer.span(
+                "invoke", payload=payload.label, digest=payload.digest,
+            ) as invoke_span:
+                if quarantine.contains(server_id, service_name, qclient):
+                    cell.add_quarantined()
+                    invoke_span.annotate(quarantined=True)
+                    continue
+                verdict = GuardedStep(
+                    "invoke", gate.proxy.invoke, limits=limits
+                ).run(operation, payload.values)
+                if verdict.ok:
+                    triage = compare_roundtrip(
+                        payload.values, verdict.value, shape
                     )
+                    problems = validate_response(
+                        transport.last_body, shape, operation
+                    )
+                    if problems:
+                        cell.schema_violations += 1
+                        invoke_span.annotate(schema=problems[0][:120])
+                        if triage.fidelity is Fidelity.LOSSLESS:
+                            triage = Triage(
+                                Fidelity.COERCED, f"schema: {problems[0]}"
+                            )
+                else:
+                    triage = classify_failure(verdict)
+                cell.add(triage)
+                invoke_span.annotate(fidelity=triage.fidelity.value)
+                if triage.detail:
+                    invoke_span.annotate(detail=triage.detail[:120])
+            if triage.fatal:
+                quarantine.poison(
+                    server_id, service_name, qclient,
+                    triage.fidelity.value, triage.detail,
+                )
 
     # -- sharded execution -----------------------------------------------------
 

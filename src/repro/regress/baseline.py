@@ -31,6 +31,10 @@ from repro.core.canon import canonical_json, require_kind
 from repro.core.store import write_text_atomic
 
 _MANIFEST = "manifest.json"
+#: Append-only accept history.  The ``.jsonl`` suffix is load-bearing:
+#: the snapshot garbage collector only touches ``.json`` files, so the
+#: history survives any number of re-accepts.
+_ACCEPTS = "accepts.jsonl"
 _FORMAT = 1
 
 #: The uniform remediation hint for an unusable baseline, mirroring the
@@ -205,13 +209,17 @@ class BaselineStore:
 
     # -- promoting --------------------------------------------------------
 
-    def accept(self, snapshots):
+    def accept(self, snapshots, timestamp="", git_rev=""):
         """Atomically promote ``snapshots`` (kind -> snapshot dict).
 
         Campaigns not present in ``snapshots`` keep their previously
         accepted entry.  Snapshot files are content-addressed and
         written first; the manifest replace is the single commit point.
         Returns ``{kind: digest}`` for the promoted campaigns.
+
+        ``timestamp`` and ``git_rev`` are recorded verbatim in the
+        accept history — passed in, never sampled here, so the store
+        itself stays free of wall-clock reads.
         """
         os.makedirs(self.directory, exist_ok=True)
         try:
@@ -232,7 +240,48 @@ class BaselineStore:
             self._path(_MANIFEST),
         )
         self._collect_garbage(campaigns)
+        self._record_accepts(digests, timestamp, git_rev)
         return digests
+
+    def _record_accepts(self, digests, timestamp, git_rev):
+        """Append one history line per promoted campaign.
+
+        Append-only (not atomic-replace): a crash mid-append loses at
+        most the tail lines of *this* promotion, never the manifest —
+        and :meth:`history` skips any torn line rather than failing.
+        """
+        with open(self._path(_ACCEPTS), "a", encoding="utf-8") as handle:
+            for kind in sorted(digests):
+                handle.write(canonical_json({
+                    "timestamp": timestamp,
+                    "kind": kind,
+                    "digest": digests[kind],
+                    "git_rev": git_rev,
+                }) + "\n")
+
+    def history(self):
+        """Accept-history entries, oldest first; ``[]`` when none.
+
+        Torn or hand-mangled lines are skipped, not fatal — the history
+        is operator-facing metadata, never an input to the gate.
+        """
+        try:
+            with open(self._path(_ACCEPTS), "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        entries = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and {"kind", "digest"} <= set(entry):
+                entries.append(entry)
+        return entries
 
     def _collect_garbage(self, campaigns):
         """Drop snapshot files the manifest no longer references."""

@@ -182,13 +182,12 @@ def _service_of(event, events):
 
 
 def _drill_resilience(config, server_id, client_id, kind, rate, trace_id):
-    from repro.faults.campaign import ResilienceCampaign
-    from repro.faults.plan import FaultKind
+    from repro.faults.campaign import ResilienceCampaign, fault_kind_of
 
     narrowed = ResilienceCampaign(replace(
         config,
         base=_narrow_base(config.base, server_id, client_id),
-        fault_kinds=(FaultKind(kind),),
+        fault_kinds=(fault_kind_of(kind),),
         rates=(float(rate),),
     ))
     factory = _RecorderFactory()

@@ -253,6 +253,8 @@ def build_report(store, snapshots, configs, drill=True, drill_limit=5,
     return report
 
 
-def accept(baseline_dir, snapshots):
+def accept(baseline_dir, snapshots, timestamp="", git_rev=""):
     """Promote ``snapshots`` as the accepted baseline; ``{kind: digest}``."""
-    return BaselineStore(baseline_dir).accept(snapshots)
+    return BaselineStore(baseline_dir).accept(
+        snapshots, timestamp=timestamp, git_rev=git_rev
+    )

@@ -34,6 +34,7 @@ from repro.reporting.regress import (
     drift_rows,
     regress_summary_rows,
     regress_to_json,
+    render_accept_history,
     render_drift_entries,
     render_drilldown,
     render_regress_report,
@@ -81,6 +82,7 @@ __all__ = [
     "drift_rows",
     "regress_summary_rows",
     "regress_to_json",
+    "render_accept_history",
     "render_drift_entries",
     "render_drilldown",
     "render_regress_report",

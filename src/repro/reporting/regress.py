@@ -124,3 +124,23 @@ def render_regress_report(report):
 def regress_to_json(report, indent=None):
     """Canonical serialization: key-sorted, digest-stable, timing-free."""
     return json.dumps(report.to_obj(), indent=indent, sort_keys=True)
+
+
+def render_accept_history(entries):
+    """The ``regress --history`` listing, oldest accept first."""
+    if not entries:
+        return "no accepts recorded (accept a baseline first)"
+    rows = [
+        (
+            entry.get("timestamp") or "-",
+            entry["kind"],
+            entry["digest"][:12],
+            entry.get("git_rev") or "-",
+        )
+        for entry in entries
+    ]
+    return render_table(
+        ("Accepted at", "Campaign", "Digest", "Git rev"),
+        rows,
+        title=f"Baseline accept history ({len(entries)} entries)",
+    )

@@ -41,16 +41,31 @@ from repro.runtime.resilience import (
 )
 from repro.runtime.server import EchoServiceEndpoint
 from repro.runtime.transport import (
+    BadStatusLine,
+    ChunkedEncodingError,
     CircuitOpen,
     ConnectionRefused,
+    ConnectionReset,
     DeadlineExceeded,
+    HeaderOverflow,
     HttpResponse,
     InMemoryHttpTransport,
+    PrematureEOF,
+    ProtocolError,
     TransportError,
+    close_transport,
+)
+from repro.runtime.wire import (
+    WireClient,
+    WireServer,
+    WireTransport,
+    transport_factory_for,
 )
 
 __all__ = [
     "AttemptLog",
+    "BadStatusLine",
+    "ChunkedEncodingError",
     "CircuitBreaker",
     "CircuitOpen",
     "ClientGate",
@@ -58,6 +73,7 @@ __all__ = [
     "ClientInvocationError",
     "ClientSoapFaultError",
     "ConnectionRefused",
+    "ConnectionReset",
     "DeadlineExceeded",
     "EchoServiceEndpoint",
     "Exchange",
@@ -66,20 +82,28 @@ __all__ = [
     "GuardLimits",
     "GuardVerdict",
     "GuardedStep",
+    "HeaderOverflow",
     "HttpResponse",
     "INLINE_LIMITS",
     "InMemoryHttpTransport",
     "InputBudgetExceeded",
     "LifecycleOutcome",
     "NAIVE_POLICY",
+    "PrematureEOF",
+    "ProtocolError",
     "ResiliencePolicy",
     "ResilientTransport",
     "TransportError",
     "TransportRecorder",
     "TriageBucket",
+    "WireClient",
+    "WireServer",
+    "WireTransport",
     "check_exchange",
     "classify_exception",
+    "close_transport",
     "prepare_client_proxy",
     "run_full_lifecycle",
     "run_guarded",
+    "transport_factory_for",
 ]

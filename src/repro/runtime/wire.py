@@ -1,0 +1,582 @@
+"""Wire transport: the in-memory stack's semantics over real sockets.
+
+Three pieces, stdlib-only:
+
+* :class:`WireServer` — a threaded socket-level HTTP/1.1 server hosting
+  the same ``(body, headers) -> HttpResponse`` handlers the in-memory
+  transport routes to.  Ephemeral loopback ports (a bind on an occupied
+  requested port retries once on a fresh ephemeral port rather than
+  hanging or dying), a bounded accept queue (``listen`` backlog) and a
+  per-connection deadline so a stalled peer can never wedge the
+  listener.
+* :class:`WireClient` — a strict byte-level HTTP client.  It frames the
+  request itself, enforces an *overall* per-request deadline (a
+  per-``recv`` timeout alone cannot catch a slowloris peer that keeps
+  trickling one byte inside the window) and classifies every way a
+  response can be malformed into the shared taxonomy of
+  :mod:`repro.runtime.transport`: :class:`BadStatusLine`,
+  :class:`HeaderOverflow`, :class:`ChunkedEncodingError`,
+  :class:`PrematureEOF`, :class:`ConnectionReset`,
+  :class:`ConnectionRefused`, :class:`DeadlineExceeded`.
+* :class:`WireTransport` — the drop-in replacement for
+  :class:`InMemoryHttpTransport`: same ``register``/``unregister``/
+  ``post``/``close`` interface, same response bytes for the same
+  logical outcome (404 ``no endpoint at <url>``, handler exception →
+  500 ``internal server error: <exc>``, string outcome promoted to
+  200), and ``elapsed_ms`` always 0.0 — **real wall time never enters a
+  campaign payload**; when tracing is active it is recorded into the
+  trace metrics (``wire_ms``) instead.  That is the parity guarantee:
+  a sweep over ``WireTransport`` produces a canonical matrix
+  byte-identical to the in-memory sweep.
+
+Requests travel with the registered endpoint URL as the request-target
+(HTTP/1.1 absolute-form, as to a proxy), so the server dispatches on
+exactly the string the in-memory transport keys its handler dict by and
+the 404 body matches byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import re
+import socket
+import threading
+import time
+import weakref
+
+from repro.obs.trace import current_tracer
+from repro.runtime.transport import (
+    BadStatusLine,
+    ChunkedEncodingError,
+    ConnectionRefused,
+    ConnectionReset,
+    DeadlineExceeded,
+    HeaderOverflow,
+    HttpResponse,
+    PrematureEOF,
+    ProtocolError,
+    TransportError,
+)
+
+_STATUS_LINE = re.compile(rb"^HTTP/1\.[01] (\d{3})(?: .*)?$")
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Hard cap on a header block, client and server side.
+MAX_HEADER_BYTES = 65536
+_RECV_CHUNK = 65536
+
+
+def _clip(data, limit=80):
+    text = repr(data)
+    return text if len(text) <= limit else text[:limit] + "..."
+
+
+# -- server -------------------------------------------------------------------
+
+
+class WireServer:
+    """Threaded HTTP/1.1 listener dispatching to registered handlers.
+
+    One connection carries one request (``Connection: close``), handled
+    serially on the accept thread — campaigns drive one request at a
+    time per transport, and the bounded ``listen`` backlog queues any
+    concurrent dials.  A per-connection ``settimeout`` bounds how long
+    a stalled peer can hold the listener.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, backlog=8,
+                 connection_timeout=10.0):
+        self.host = host
+        self.requested_port = port
+        self.port = None
+        self.backlog = backlog
+        self.connection_timeout = connection_timeout
+        self._handlers = {}
+        self._socket = None
+        self._thread = None
+        self._finalizer = None
+
+    @property
+    def running(self):
+        return self._socket is not None
+
+    def register(self, url, handler):
+        self._handlers[url] = handler
+        return url
+
+    def unregister(self, url):
+        self._handlers.pop(url, None)
+
+    def start(self):
+        """Bind, listen and spawn the accept thread; returns ``self``.
+
+        A requested port that turns out to be occupied (or otherwise
+        unbindable) is retried once on a fresh ephemeral port — startup
+        never hangs and never leaks the failed socket.
+        """
+        if self._socket is not None:
+            return self
+        last_error = None
+        for candidate in (self.requested_port, 0):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                sock.bind((self.host, candidate))
+            except OSError as exc:
+                sock.close()
+                last_error = exc
+                continue
+            sock.listen(self.backlog)
+            self._socket = sock
+            self.port = sock.getsockname()[1]
+            self._thread = threading.Thread(
+                target=self._serve, name=f"wire-accept-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+            # GC safety net: the listener socket must not outlive the
+            # server object even when nobody called stop().
+            self._finalizer = weakref.finalize(self, _close_socket, sock)
+            return self
+        raise ConnectionRefused(
+            f"cannot bind a listener on {self.host}: {last_error}"
+        )
+
+    def stop(self):
+        """Close the listener and join the accept thread.  Idempotent.
+
+        Closing the listening socket does not wake a thread blocked in
+        ``accept()`` on Linux, so the shutdown dials one no-op wake-up
+        connection first — the loop sees the cleared socket and exits —
+        and only then closes the file descriptor.
+        """
+        sock, self._socket = self._socket, None
+        if sock is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=1.0
+            ):
+                pass
+        except OSError:
+            pass
+        thread, self._thread = self._thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=self.connection_timeout + 5.0)
+        _close_socket(sock)
+
+    # -- accept loop -----------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            sock = self._socket
+            if sock is None:
+                return
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return  # listener closed by stop()
+            try:
+                self._handle_connection(conn)
+            except Exception:
+                pass  # one broken connection must never kill the listener
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _handle_connection(self, conn):
+        conn.settimeout(self.connection_timeout)
+        head, rest = _read_head(conn)
+        if head is None:
+            return  # peer vanished before completing the request
+        lines = head.split(b"\r\n")
+        match = re.match(rb"^([A-Z]+) (\S+) HTTP/1\.[01]$", lines[0])
+        if match is None:
+            _send(conn, _serialize(HttpResponse(400, "bad request line")))
+            return
+        target = match.group(2).decode("utf-8", "replace")
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(b":")
+            if not _:
+                _send(conn, _serialize(HttpResponse(400, "bad header line")))
+                return
+            headers[name.decode("latin-1").strip()] = (
+                value.decode("latin-1").strip()
+            )
+        lowered = {key.lower(): value for key, value in headers.items()}
+        try:
+            length = int(lowered.get("content-length", "0"))
+        except ValueError:
+            _send(conn, _serialize(HttpResponse(400, "bad content-length")))
+            return
+        body = rest
+        while len(body) < length:
+            chunk = conn.recv(_RECV_CHUNK)
+            if not chunk:
+                return  # peer died mid-request; nothing to answer
+            body += chunk
+        _send(conn, _serialize(self._dispatch(
+            target, body.decode("utf-8", "replace"), headers
+        )))
+
+    def _dispatch(self, target, body, headers):
+        """The in-memory transport's routing semantics, byte-for-byte."""
+        handler = self._handlers.get(target)
+        if handler is None:
+            return HttpResponse(status=404, body=f"no endpoint at {target}")
+        try:
+            outcome = handler(body, headers)
+        except Exception as exc:
+            return HttpResponse(
+                status=500, body=f"internal server error: {exc}"
+            )
+        if isinstance(outcome, HttpResponse):
+            return outcome
+        return HttpResponse(status=200, body=str(outcome))
+
+
+def _close_socket(sock):
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _read_head(conn):
+    """Read up to the blank line; ``(None, b"")`` when the peer quits."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        if len(buffer) > MAX_HEADER_BYTES:
+            _send(conn, _serialize(
+                HttpResponse(431, "request header block too large")
+            ))
+            return None, b""
+        try:
+            chunk = conn.recv(_RECV_CHUNK)
+        except OSError:
+            return None, b""
+        if not chunk:
+            return None, b""
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    return head, rest
+
+
+def _send(conn, data):
+    try:
+        conn.sendall(data)
+    except OSError:
+        pass  # the peer is gone; its loss
+
+
+def _serialize(response):
+    payload = response.body.encode("utf-8")
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: text/xml; charset=utf-8",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{_header_safe(name)}: {_header_safe(value)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+def _header_safe(text):
+    return str(text).replace("\r", " ").replace("\n", " ")
+
+
+# -- client -------------------------------------------------------------------
+
+
+class WireClient:
+    """Strict byte-level HTTP/1.1 client with classified framing errors.
+
+    ``timeout`` is the *overall* deadline for the whole exchange
+    (connect + send + read-to-completion), not a per-``recv`` window —
+    the distinction that makes slowloris trickling a classified
+    :class:`DeadlineExceeded` instead of an indefinite stall.
+    """
+
+    def __init__(self, timeout=10.0, max_header_bytes=MAX_HEADER_BYTES,
+                 max_line_bytes=8192):
+        self.timeout = timeout
+        self.max_header_bytes = max_header_bytes
+        self.max_line_bytes = max_line_bytes
+
+    def post(self, host, port, target, body, headers=None, timeout=None):
+        """POST ``body`` to ``host:port`` with ``target`` as request-target."""
+        deadline = time.monotonic() + (
+            self.timeout if timeout is None else timeout
+        )
+        payload = body.encode("utf-8")
+        lines = [
+            f"POST {target} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Content-Type: text/xml; charset=utf-8",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{_header_safe(name)}: {_header_safe(value)}")
+        request = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+        sock = self._connect(host, port, deadline)
+        try:
+            try:
+                sock.sendall(request)
+            except socket.timeout:
+                raise DeadlineExceeded(f"send to {host}:{port} timed out")
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                raise ConnectionReset(f"reset while sending: {exc}")
+            except OSError as exc:
+                raise TransportError(f"send failed: {exc}")
+            return self._read_response(sock, deadline)
+        finally:
+            _close_socket(sock)
+
+    # -- internals -------------------------------------------------------------
+
+    def _connect(self, host, port, deadline):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(f"deadline spent before connecting")
+        try:
+            return socket.create_connection((host, port), timeout=remaining)
+        except ConnectionRefusedError as exc:
+            raise ConnectionRefused(f"connect to {host}:{port} refused: {exc}")
+        except socket.timeout:
+            raise DeadlineExceeded(f"connect to {host}:{port} timed out")
+        except OSError as exc:
+            raise TransportError(f"connect to {host}:{port} failed: {exc}")
+
+    def _recv(self, sock, deadline, context):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(f"deadline exceeded {context}")
+        sock.settimeout(remaining)
+        try:
+            return sock.recv(_RECV_CHUNK)
+        except socket.timeout:
+            raise DeadlineExceeded(f"deadline exceeded {context}")
+        except ConnectionResetError as exc:
+            raise ConnectionReset(f"connection reset {context}: {exc}")
+        except OSError as exc:
+            raise TransportError(f"read failed {context}: {exc}")
+
+    def _read_response(self, sock, deadline):
+        buffer = b""
+        while b"\r\n\r\n" not in buffer:
+            if len(buffer) > self.max_header_bytes:
+                raise HeaderOverflow(
+                    f"header block exceeds {self.max_header_bytes} bytes"
+                )
+            chunk = self._recv(sock, deadline, "reading headers")
+            if not chunk:
+                if not buffer:
+                    raise PrematureEOF("peer closed before the status line")
+                raise PrematureEOF("peer closed inside the header block")
+            buffer += chunk
+        head, _, rest = buffer.partition(b"\r\n\r\n")
+        status, headers = self._parse_head(head)
+        body = self._read_body(sock, deadline, headers, rest)
+        return HttpResponse(
+            status=status, body=body.decode("utf-8", "replace"),
+            headers=headers,
+        )
+
+    def _parse_head(self, head):
+        lines = head.split(b"\r\n")
+        match = _STATUS_LINE.match(lines[0])
+        if match is None:
+            raise BadStatusLine(f"not an HTTP status line: {_clip(lines[0])}")
+        headers = {}
+        for line in lines[1:]:
+            if len(line) > self.max_line_bytes:
+                raise HeaderOverflow(
+                    f"header line exceeds {self.max_line_bytes} bytes"
+                )
+            name, sep, value = line.partition(b":")
+            if not sep or not name.strip():
+                raise ProtocolError(f"malformed header line: {_clip(line)}")
+            key = name.decode("latin-1").strip()
+            text = value.decode("latin-1").strip()
+            previous = headers.get(key.lower())
+            if key.lower() in ("content-length", "transfer-encoding"):
+                if previous is not None and previous != text:
+                    raise ProtocolError(
+                        f"conflicting {key} headers: "
+                        f"{previous!r} vs {text!r}"
+                    )
+                headers[key.lower()] = text
+            else:
+                headers[key] = text
+        return int(match.group(1)), headers
+
+    def _read_body(self, sock, deadline, headers, initial):
+        lowered = {key.lower(): value for key, value in headers.items()}
+        encoding = lowered.get("transfer-encoding", "").lower()
+        if encoding:
+            if encoding != "chunked":
+                raise ProtocolError(f"unknown transfer-encoding: {encoding}")
+            return self._read_chunked(sock, deadline, initial)
+        length_text = lowered.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise ProtocolError(
+                    f"unparseable Content-Length: {length_text!r}"
+                )
+            if length < 0:
+                raise ProtocolError(f"negative Content-Length: {length}")
+            body = initial
+            while len(body) < length:
+                chunk = self._recv(sock, deadline, "reading body")
+                if not chunk:
+                    raise PrematureEOF(
+                        f"peer closed after {len(body)} of {length} body bytes"
+                    )
+                body += chunk
+            return body[:length]
+        # No framing header: read until EOF (HTTP/1.0 style close-delimited).
+        body = initial
+        while True:
+            chunk = self._recv(sock, deadline, "reading body")
+            if not chunk:
+                return body
+
+    def _read_chunked(self, sock, deadline, initial):
+        buffer = initial
+        body = b""
+
+        def need(count, context):
+            nonlocal buffer
+            while len(buffer) < count:
+                chunk = self._recv(sock, deadline, context)
+                if not chunk:
+                    raise PrematureEOF(f"peer closed {context}")
+                buffer += chunk
+
+        def read_line(context):
+            nonlocal buffer
+            while b"\r\n" not in buffer:
+                if len(buffer) > self.max_line_bytes:
+                    raise ChunkedEncodingError(
+                        f"chunk size line exceeds {self.max_line_bytes} bytes"
+                    )
+                chunk = self._recv(sock, deadline, context)
+                if not chunk:
+                    raise PrematureEOF(f"peer closed {context}")
+                buffer += chunk
+            line, _, buffer = buffer.partition(b"\r\n")
+            return line
+
+        while True:
+            line = read_line("reading a chunk size")
+            size_text = line.split(b";", 1)[0].strip()
+            try:
+                size = int(size_text, 16)
+            except ValueError:
+                raise ChunkedEncodingError(
+                    f"bad chunk size line: {_clip(line)}"
+                )
+            if size < 0:
+                raise ChunkedEncodingError(f"negative chunk size: {size}")
+            if size == 0:
+                break
+            need(size + 2, "reading a chunk")
+            body += buffer[:size]
+            if buffer[size:size + 2] != b"\r\n":
+                raise ChunkedEncodingError(
+                    "chunk data not terminated by CRLF"
+                )
+            buffer = buffer[size + 2:]
+        # Trailers: zero or more header lines, then a blank line.
+        while True:
+            line = read_line("reading trailers")
+            if not line:
+                return body
+
+
+# -- transport ----------------------------------------------------------------
+
+
+class WireTransport:
+    """The in-memory transport's interface over a real loopback socket.
+
+    Lazily starts its :class:`WireServer` on first use; ``close`` shuts
+    the listener down and makes further POSTs raise
+    :class:`ConnectionRefused` — exactly like a closed
+    :class:`InMemoryHttpTransport`.  Responses always carry
+    ``elapsed_ms == 0.0``; the measured wall time goes to the active
+    tracer's metrics (``wire_ms``) so campaign payloads stay
+    byte-identical to the in-memory stack.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, client_timeout=10.0):
+        self._server = WireServer(host=host, port=port)
+        self._client = WireClient(timeout=client_timeout)
+        self.requests_sent = 0
+        self.closed = False
+
+    @property
+    def server_address(self):
+        """``(host, port)`` of the running listener (starts it if needed)."""
+        self._server.start()
+        return (self._server.host, self._server.port)
+
+    def register(self, url, handler):
+        self._server.start()
+        return self._server.register(url, handler)
+
+    def unregister(self, url):
+        self._server.unregister(url)
+
+    def post(self, url, body, headers=None):
+        if self.closed:
+            raise ConnectionRefused(f"transport closed: {url}")
+        self._server.start()
+        self.requests_sent += 1
+        started = time.monotonic()
+        try:
+            response = self._client.post(
+                self._server.host, self._server.port, url, body, headers
+            )
+        finally:
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.metrics.observe(
+                    "wire_ms", (time.monotonic() - started) * 1000.0
+                )
+        # Parity: real wall time never enters a campaign payload; the
+        # simulated-latency field behaves exactly as in-memory.
+        response.elapsed_ms = 0.0
+        return response
+
+    def close(self):
+        """Stop the listener; further POSTs refuse.  Idempotent."""
+        self.closed = True
+        self._server.stop()
+
+
+def transport_factory_for(name):
+    """The ``transport_factory`` callable for a ``--transport`` name."""
+    from repro.runtime.transport import InMemoryHttpTransport
+
+    if name == "wire":
+        return WireTransport
+    if name in (None, "", "memory"):
+        return InMemoryHttpTransport
+    raise ValueError(f"unknown transport {name!r} (expected memory or wire)")

@@ -20,6 +20,45 @@ class TestParser:
         args = build_parser().parse_args(["run", "--quick", "--csv", "x.csv"])
         assert args.quick and args.csv == "x.csv"
 
+    @pytest.mark.parametrize(
+        "command", ["run", "resilience", "invoke", "regress"]
+    )
+    def test_transport_flag(self, command):
+        extra = (
+            ["--baseline-dir", "b"] if command == "regress" else []
+        )
+        args = build_parser().parse_args([command] + extra)
+        assert args.transport == "memory"
+        args = build_parser().parse_args(
+            [command, "--transport", "wire"] + extra
+        )
+        assert args.transport == "wire"
+
+    def test_transport_choices_are_closed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--transport", "pigeon"])
+
+
+class TestTransportGuards:
+    def test_wire_kind_requires_wire_transport(self, capsys):
+        rc = main(["resilience", "--quick", "--kinds", "reset",
+                   "--sample", "1"])
+        assert rc == 2
+        assert "--transport wire" in capsys.readouterr().err
+
+    def test_unknown_kind_lists_both_taxonomies(self, capsys):
+        rc = main(["resilience", "--quick", "--kinds", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "http-503" in err and "slowloris" in err
+
+    def test_mixed_kinds_accepted_with_wire_transport(self):
+        args = build_parser().parse_args(
+            ["resilience", "--kinds", "http-503,reset",
+             "--transport", "wire"]
+        )
+        assert args.kinds == "http-503,reset"
+
 
 class TestCommands:
     def test_tables(self, capsys):

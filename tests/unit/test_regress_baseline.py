@@ -137,6 +137,58 @@ class TestClassifiedErrors:
             BaselineError("novel-kind", "boom")
 
 
+class TestAcceptHistory:
+    def test_accept_records_one_entry_per_campaign(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        digests = store.accept(
+            {"run": _snapshot("run"), "fuzz": _snapshot("fuzz")},
+            timestamp="2026-08-07T00:00:00Z", git_rev="abc1234",
+        )
+        entries = store.history()
+        assert [entry["kind"] for entry in entries] == ["fuzz", "run"]
+        for entry in entries:
+            assert entry["digest"] == digests[entry["kind"]]
+            assert entry["timestamp"] == "2026-08-07T00:00:00Z"
+            assert entry["git_rev"] == "abc1234"
+
+    def test_history_is_append_only_oldest_first(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        store.accept({"run": _snapshot("run")}, timestamp="t1")
+        store.accept({"run": _snapshot("run", metric=7)}, timestamp="t2")
+        timestamps = [entry["timestamp"] for entry in store.history()]
+        assert timestamps == ["t1", "t2"]
+
+    def test_history_survives_snapshot_garbage_collection(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        store.accept({"run": _snapshot("run")}, timestamp="t1")
+        store.accept({"run": _snapshot("run", metric=9)}, timestamp="t2")
+        # The GC dropped the stale .json snapshot but must never touch
+        # the .jsonl history.
+        assert "accepts.jsonl" in os.listdir(str(tmp_path))
+        assert len(store.history()) == 2
+
+    def test_torn_and_mangled_lines_skipped(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        store.accept({"run": _snapshot("run")}, timestamp="t1")
+        with open(str(tmp_path / "accepts.jsonl"), "a",
+                  encoding="utf-8") as handle:
+            handle.write('{"kind": "run", "dig')  # torn mid-write
+            handle.write("\n[1, 2, 3]\n\n")       # wrong shape + blank
+        entries = store.history()
+        assert len(entries) == 1
+        assert entries[0]["timestamp"] == "t1"
+
+    def test_no_history_file_is_empty(self, tmp_path):
+        assert BaselineStore(str(tmp_path)).history() == []
+
+    def test_metadata_defaults_to_empty_strings(self, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        store.accept({"run": _snapshot("run")})
+        entry = store.history()[0]
+        assert entry["timestamp"] == ""
+        assert entry["git_rev"] == ""
+
+
 class TestAtomicity:
     def test_snapshot_written_before_manifest(self, tmp_path, monkeypatch):
         """If the promote dies before the manifest replace, the old

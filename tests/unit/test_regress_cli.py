@@ -109,6 +109,38 @@ class TestGate:
         assert "harness bug" in capsys.readouterr().err
 
 
+class TestAcceptHistory:
+    def test_history_lists_accepts_without_sweeping(
+        self, accepted, capsys
+    ):
+        rc = main(["regress", "--baseline-dir", accepted, "--history"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Baseline accept history" in captured.out
+        assert "invoke" in captured.out
+        # --history never sweeps: no campaign banner on stderr.
+        assert "finished in" not in captured.err
+
+    def test_history_of_empty_store(self, tmp_path, capsys):
+        rc = main(["regress", "--baseline-dir", _baseline(tmp_path),
+                   "--history"])
+        assert rc == 0
+        assert "no accepts recorded" in capsys.readouterr().out
+
+    def test_accepted_at_recorded_verbatim(self, tmp_path, capsys):
+        from repro.regress import BaselineStore
+
+        directory = _baseline(tmp_path)
+        rc = main(ARGS + ["--baseline-dir", directory, "--accept",
+                          "--accepted-at", "2026-08-07T12:00:00Z"])
+        assert rc == 0
+        entries = BaselineStore(directory).history()
+        assert [e["timestamp"] for e in entries] == ["2026-08-07T12:00:00Z"]
+        rc = main(["regress", "--baseline-dir", directory, "--history"])
+        assert rc == 0
+        assert "2026-08-07T12:00:00Z" in capsys.readouterr().out
+
+
 class TestArgumentValidation:
     def test_unknown_campaign_kind(self, tmp_path, capsys):
         rc = main(["regress", "--baseline-dir", _baseline(tmp_path),
