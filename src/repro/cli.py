@@ -178,12 +178,55 @@ def _print_pool_summary(stats):
     print(render_pool_summary(stats), file=sys.stderr)
 
 
+def _telemetry_kwargs(args, kind, fingerprint):
+    """``execute_sharded`` kwargs for ``--progress``.
+
+    The ETA prior comes from the perf ledger when one was named: the
+    wall-clock of the last recorded run of this exact configuration
+    (same trace ID) is the best available estimate, falling back to the
+    last run of the same campaign kind.  Ledger problems degrade to "no
+    hint" — telemetry must never fail the sweep it observes.
+    """
+    progress_path = getattr(args, "progress_path", None)
+    if not progress_path:
+        return {}
+    hint = None
+    ledger_dir = (getattr(args, "perf_ledger", None)
+                  or getattr(args, "ledger_dir", None))
+    if ledger_dir:
+        from repro.obs import PerfLedger, trace_id_for
+        from repro.obs.perf import LedgerError
+
+        try:
+            ledger = PerfLedger(ledger_dir)
+            entries, _ = ledger.entries(
+                kind=kind, trace_id=trace_id_for(kind, fingerprint)
+            )
+            if not entries:
+                entries, _ = ledger.entries(kind=kind)
+            if entries:
+                hint = entries[-1]["summary"]["root_ms"] / 1000.0
+        except (LedgerError, KeyError, TypeError):
+            hint = None
+    return {
+        "progress_path": progress_path,
+        "eta_wall_hint_seconds": hint,
+    }
+
+
+def _warn_serial_progress(args):
+    if getattr(args, "progress_path", None):
+        print("note: --progress streams heartbeats only for pooled sweeps; "
+              "re-run with --workers 2 or more", file=sys.stderr)
+
+
 def _run_campaign(args):
     config = _config_from(args)
     started = time.time()
     progress = _progress if args.verbose else None
     checkpoint = _checkpoint_from(args)
-    trace = _make_trace(args, "run", Campaign(config)._fingerprint())
+    fingerprint = Campaign(config)._fingerprint()
+    trace = _make_trace(args, "run", fingerprint)
     if getattr(args, "workers", 1) > 1:
         from repro.runtime.pool import execute_sharded
 
@@ -194,10 +237,12 @@ def _run_campaign(args):
         result, stats = execute_sharded(
             job, _pool_config_from(args),
             checkpoint=checkpoint, progress=progress, collector=collector,
+            **_telemetry_kwargs(args, "run", fingerprint),
         )
         _print_pool_summary(stats)
         _write_pool_trace(trace, collector, args.workers)
     else:
+        _warn_serial_progress(args)
         result = _run_traced_serial(
             trace,
             lambda: Campaign(config).run(
@@ -464,10 +509,12 @@ def cmd_resilience(args):
         result, stats = execute_sharded(
             campaign.shard_job(), _pool_config_from(args),
             checkpoint=checkpoint, progress=progress, collector=collector,
+            **_telemetry_kwargs(args, "resilience", config.fingerprint()),
         )
         _print_pool_summary(stats)
         _write_pool_trace(trace, collector, args.workers)
     else:
+        _warn_serial_progress(args)
         result = _run_traced_serial(
             trace,
             lambda: campaign.run(progress=progress, checkpoint=checkpoint),
@@ -547,10 +594,12 @@ def cmd_fuzz(args):
         result, stats = execute_sharded(
             campaign.shard_job(), _pool_config_from(args),
             checkpoint=checkpoint, progress=progress, collector=collector,
+            **_telemetry_kwargs(args, "fuzz", config.fingerprint()),
         )
         _print_pool_summary(stats)
         _write_pool_trace(trace, collector, args.workers)
     else:
+        _warn_serial_progress(args)
         result = _run_traced_serial(
             trace,
             lambda: campaign.run(progress=progress, checkpoint=checkpoint),
@@ -628,10 +677,12 @@ def cmd_invoke(args):
         result, stats = execute_sharded(
             campaign.shard_job(), _pool_config_from(args),
             checkpoint=checkpoint, progress=progress, collector=collector,
+            **_telemetry_kwargs(args, "invoke", config.fingerprint()),
         )
         _print_pool_summary(stats)
         _write_pool_trace(trace, collector, args.workers)
     else:
+        _warn_serial_progress(args)
         result = _run_traced_serial(
             trace,
             lambda: campaign.run(progress=progress, checkpoint=checkpoint),
@@ -751,6 +802,14 @@ def cmd_regress(args):
         perturb=args.perturb, progress=progress,
     )
     print(render_regress_report(report))
+    if args.perf_ledger:
+        from repro.reporting import render_timing_advisory
+
+        # Advisory only: rendered text, never folded into exit_code.
+        print()
+        print(render_timing_advisory(
+            _timing_advisories(args.perf_ledger, campaigns, configs)
+        ))
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(regress_to_json(report))
@@ -838,11 +897,194 @@ def cmd_profile(args):
     except TraceValidationError as exc:
         print(f"error: invalid trace: {exc}", file=sys.stderr)
         return 2
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except FileNotFoundError:
+        print(f"error: no trace found at {args.trace!r}; run a sweep with "
+              "--trace-dir first, then point `profile` at that directory "
+              "or its trace.jsonl", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
         return 2
     print(render_profile(trace, top=args.top))
     return 0
+
+
+# -- the performance ledger ----------------------------------------------------
+
+
+def _record_sweep_trace(args):
+    """Run one traced sweep for ``perf record --campaign`` and load it.
+
+    The trace round-trips through a real trace file (a temp directory
+    unless ``--trace-dir`` keeps it) so the profile is extracted from
+    exactly what any other trace consumer would see.
+    """
+    import tempfile
+
+    from repro.obs import load_trace, trace_id_for
+    from repro.regress.runner import build_configs, campaign_of, fingerprint_of
+
+    kind = args.campaign
+    configs = build_configs(
+        (kind,), _config_from(args), seed=args.seed, sample=args.sample,
+        payloads_per_class=args.payloads, mutants_per_config=args.mutants,
+    )
+    campaign = campaign_of(kind, configs[kind])
+    fingerprint = fingerprint_of(kind, configs[kind])
+    progress = _progress if args.verbose else None
+    started = time.time()
+    with contextlib.ExitStack() as stack:
+        trace_dir = getattr(args, "trace_dir", None)
+        if not trace_dir:
+            trace_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="wsinterop-perf-")
+            )
+        trace = {
+            "dir": trace_dir,
+            "kind": kind,
+            "id": trace_id_for(kind, fingerprint),
+        }
+        if args.workers > 1:
+            from repro.runtime.pool import execute_sharded
+
+            collector = _pool_collector(trace)
+            _, stats = execute_sharded(
+                campaign.shard_job(), _pool_config_from(args),
+                progress=progress, collector=collector,
+                **_telemetry_kwargs(args, kind, fingerprint),
+            )
+            _print_pool_summary(stats)
+            _write_pool_trace(trace, collector, args.workers)
+        else:
+            _warn_serial_progress(args)
+            _run_traced_serial(
+                trace, lambda: campaign.run(progress=progress)
+            )
+        print(f"{kind} sweep finished in {time.time() - started:.1f}s",
+              file=sys.stderr)
+        return load_trace(trace_dir)
+
+
+def cmd_perf_record(args):
+    from repro.obs import PerfLedger, TraceValidationError, load_trace
+    from repro.obs.perf import perf_profile
+
+    if args.trace:
+        try:
+            trace = load_trace(args.trace)
+        except TraceValidationError as exc:
+            print(f"error: invalid trace: {exc}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            print(f"error: cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        seed = None
+    else:
+        trace = _record_sweep_trace(args)
+        seed = args.seed
+    profile = perf_profile(trace)
+    ledger = PerfLedger(args.ledger_dir)
+    entry = ledger.record(
+        profile,
+        recorded_at=args.recorded_at or time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        git_rev=_git_rev(),
+        seed=seed,
+    )
+    summary = entry["summary"]
+    print(f"recorded {entry['kind']} profile {entry['digest'][:12]} "
+          f"(trace {entry['trace_id'][:12]}, {summary['spans_total']} "
+          f"spans, {summary['cells']} cells, root "
+          f"{summary['root_ms']:.1f}ms) -> {ledger.path}")
+    return 0
+
+
+def cmd_perf_diff(args):
+    from repro.obs import PerfLedger, diff_profiles
+    from repro.reporting import perf_diff_to_json, render_perf_diff
+
+    ledger = PerfLedger(args.ledger_dir)
+    entry_a = ledger.resolve(args.ref_a, kind=args.kind)
+    entry_b = ledger.resolve(args.ref_b, kind=args.kind)
+
+    def label(entry):
+        rev = entry.get("git_rev") or ""
+        return entry["digest"][:12] + (f" @{rev}" if rev else "")
+
+    try:
+        diff = diff_profiles(
+            ledger.load_profile(entry_a), ledger.load_profile(entry_b),
+            mad_threshold=args.mad_threshold,
+            min_delta_ms=args.min_delta_ms,
+            min_ratio=args.min_ratio,
+        )
+    except ValueError as exc:
+        print(f"error: {exc} (narrow the references with --kind)",
+              file=sys.stderr)
+        return 2
+    print(render_perf_diff(diff, label_a=label(entry_a),
+                           label_b=label(entry_b)))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(perf_diff_to_json(diff, indent=2))
+        print(f"JSON written to {args.json}", file=sys.stderr)
+    return 2 if diff.significant else 0
+
+
+def cmd_perf_trend(args):
+    from repro.obs import PerfLedger
+    from repro.reporting import render_perf_trend
+
+    ledger = PerfLedger(args.ledger_dir)
+    entries, skipped = ledger.entries(kind=args.kind)
+    if skipped:
+        print(f"warning: {skipped} unreadable ledger line(s) skipped "
+              "(torn append or hand-edited history)", file=sys.stderr)
+    if args.last and args.last > 0:
+        entries = entries[-args.last:]
+    profiles = [ledger.load_profile(entry) for entry in entries]
+    print(render_perf_trend(entries, profiles, stage=args.stage))
+    return 0
+
+
+def _timing_advisories(ledger_dir, campaigns, configs):
+    """Per-campaign (kind, diff-or-None, detail) advisory inputs.
+
+    Compares the two most recent ledger recordings of each campaign's
+    *current* configuration.  Any ledger problem degrades to a detail
+    string — the advisory never raises into the regress gate.
+    """
+    from repro.obs import PerfLedger, diff_profiles, trace_id_for
+    from repro.obs.perf import LedgerError
+    from repro.regress.runner import fingerprint_of
+
+    ledger = PerfLedger(ledger_dir)
+    advisories = []
+    for kind in campaigns:
+        trace_id = trace_id_for(kind, fingerprint_of(kind, configs[kind]))
+        try:
+            entries, _ = ledger.entries(kind=kind, trace_id=trace_id)
+            if len(entries) < 2:
+                advisories.append((
+                    kind, None,
+                    f"{len(entries)} recorded run(s) of this configuration "
+                    "— need 2 to compare",
+                ))
+                continue
+            previous, latest = entries[-2], entries[-1]
+            diff = diff_profiles(
+                ledger.load_profile(previous), ledger.load_profile(latest)
+            )
+            advisories.append((
+                kind, diff,
+                f"{previous['digest'][:12]} -> {latest['digest'][:12]}",
+            ))
+        except (LedgerError, ValueError) as exc:
+            advisories.append((kind, None, f"ledger unusable: {exc}"))
+    return advisories
 
 
 def _add_transport_argument(parser):
@@ -870,6 +1112,17 @@ def _add_pool_arguments(parser, shards=False):
         help="write a deterministic span trace (trace.jsonl) into DIR; "
         "span IDs are identical for any --workers count and timing never "
         "leaks into campaign payloads",
+    )
+    parser.add_argument(
+        "--progress", dest="progress_path", default=None, metavar="PATH",
+        help="append a crash-safe JSONL heartbeat stream (units done/total, "
+        "per-worker state, ETA) to PATH while a pooled sweep runs; pure "
+        "telemetry — results stay byte-identical (needs --workers >= 2)",
+    )
+    parser.add_argument(
+        "--perf-ledger", dest="perf_ledger", default=None, metavar="DIR",
+        help="perf ledger consulted for the --progress ETA prior (the "
+        "wall-clock of the last recorded run of this configuration)",
     )
     if shards:
         parser.add_argument(
@@ -1125,6 +1378,11 @@ def build_parser():
         help="timestamp recorded with --accept (default: current UTC time); "
         "pass a fixed value for reproducible accept histories",
     )
+    regress_parser.add_argument(
+        "--perf-ledger", dest="perf_ledger", default=None, metavar="DIR",
+        help="render an advisory timing-drift section from this perf "
+        "ledger (informational only — never changes the gate's exit code)",
+    )
     _add_transport_argument(regress_parser)
     regress_parser.set_defaults(func=cmd_regress)
 
@@ -1154,6 +1412,112 @@ def build_parser():
         help="rows in the slowest-services table",
     )
     profile_parser.set_defaults(func=cmd_profile)
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help="performance ledger: record per-run perf profiles, diff them "
+        "noise-aware, and trend per-stage latency across runs",
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+
+    perf_record = perf_sub.add_parser(
+        "record",
+        help="extract a perf profile from a trace (or run a traced sweep) "
+        "and append it to the ledger",
+    )
+    perf_record.add_argument(
+        "--ledger-dir", required=True, metavar="DIR",
+        help="ledger directory (conventionally <baseline-dir>/perf); "
+        "created on first record",
+    )
+    source = perf_record.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--trace", metavar="PATH",
+        help="ingest an existing trace.jsonl (or the --trace-dir holding "
+        "one) instead of running a sweep",
+    )
+    source.add_argument(
+        "--campaign", choices=("run", "resilience", "fuzz", "invoke"),
+        help="run this campaign kind under tracing and record its profile",
+    )
+    perf_record.add_argument("--quick", action="store_true",
+                             help="small corpora")
+    perf_record.add_argument("--verbose", action="store_true")
+    perf_record.add_argument(
+        "--seed", type=int, default=20140622,
+        help="sweep seed for --campaign (matches the regress default)",
+    )
+    perf_record.add_argument(
+        "--sample", type=int, default=2,
+        help="deployed services per server for --campaign sweeps",
+    )
+    perf_record.add_argument(
+        "--payloads", type=int, default=1,
+        help="invoke sweeps: payloads per (service, class) combination",
+    )
+    perf_record.add_argument(
+        "--mutants", type=int, default=1,
+        help="fuzz sweeps: mutants per (service, kind, intensity)",
+    )
+    perf_record.add_argument(
+        "--recorded-at", metavar="TIMESTAMP",
+        help="timestamp stored in the ledger entry (default: current UTC "
+        "time); pass a fixed value for reproducible histories",
+    )
+    _add_transport_argument(perf_record)
+    _add_pool_arguments(perf_record)
+    perf_record.set_defaults(func=cmd_perf_record)
+
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="noise-aware comparison of two recorded profiles "
+        "(exit 0 = no significant regression, 2 = regression)",
+    )
+    perf_diff.add_argument(
+        "ref_a", help="baseline: latest, latest~N, an index, or a digest "
+        "prefix (>= 4 hex chars)",
+    )
+    perf_diff.add_argument("ref_b", help="candidate: same reference forms")
+    perf_diff.add_argument("--ledger-dir", required=True, metavar="DIR")
+    perf_diff.add_argument(
+        "--kind", choices=("run", "resilience", "fuzz", "invoke"),
+        help="restrict reference resolution to one campaign kind",
+    )
+    perf_diff.add_argument(
+        "--mad-threshold", type=float, default=3.0,
+        help="median shift must exceed this many baseline MADs",
+    )
+    perf_diff.add_argument(
+        "--min-delta-ms", type=float, default=0.5,
+        help="absolute floor on a significant median shift",
+    )
+    perf_diff.add_argument(
+        "--min-ratio", type=float, default=2.0,
+        help="relative floor: the grown median must be at least this "
+        "multiple of the smaller one",
+    )
+    perf_diff.add_argument("--json", help="write the diff as JSON here")
+    perf_diff.set_defaults(func=cmd_perf_diff)
+
+    perf_trend = perf_sub.add_parser(
+        "trend",
+        help="per-stage median latency across the whole ledger, with "
+        "sparkline trends",
+    )
+    perf_trend.add_argument("--ledger-dir", required=True, metavar="DIR")
+    perf_trend.add_argument(
+        "--kind", choices=("run", "resilience", "fuzz", "invoke"),
+        help="restrict the series to one campaign kind",
+    )
+    perf_trend.add_argument(
+        "--stage", metavar="NAME",
+        help="one stage in detail: a row per recorded run",
+    )
+    perf_trend.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent ledger entries",
+    )
+    perf_trend.set_defaults(func=cmd_perf_trend)
 
     report_parser = sub.add_parser(
         "report", help="run the campaign, print Fig. 4 / Table III / comparison"
@@ -1211,10 +1575,16 @@ def build_parser():
 
 
 def main(argv=None):
+    from repro.obs.perf import LedgerError
+
     args = build_parser().parse_args(argv)
     try:
         with flush_signals_to_interrupt():
             return args.func(args)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"hint: {exc.hint}", file=sys.stderr)
+        return 2
     except CheckpointMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
         print(f"hint: {exc.hint}", file=sys.stderr)

@@ -58,10 +58,15 @@ class Histogram:
         """Estimate the ``q``-quantile by interpolating within buckets.
 
         The overflow bucket is clamped to the largest finite bound, so
-        estimates are conservative for outliers beyond the layout.
+        estimates are conservative for outliers beyond the layout.  A
+        single-observation histogram answers exactly: its only value is
+        ``total``, so every quantile *is* that value rather than an
+        interpolation artefact of whichever bucket it landed in.
         """
         if not self.count:
             return 0.0
+        if self.count == 1:
+            return self.total
         rank = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
@@ -82,12 +87,55 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other):
+        """Fold ``other`` into this histogram.
+
+        Empty histograms are two-sided identities: merging one in is a
+        no-op even when its bucket layout differs, and an empty receiver
+        adopts the other side's layout — so ``merge`` stays associative
+        over any mix of empties and same-layout histograms.
+        """
+        if not other.count:
+            return
+        if not self.count and tuple(other.bounds) != tuple(self.bounds):
+            self.bounds = tuple(other.bounds)
+            self.counts = [0] * (len(self.bounds) + 1)
         if tuple(other.bounds) != tuple(self.bounds):
             raise ValueError("cannot merge histograms with different buckets")
         for index, bucket_count in enumerate(other.counts):
             self.counts[index] += bucket_count
         self.total += other.total
         self.count += other.count
+
+    def mad(self):
+        """Robust spread: the median absolute deviation from the median.
+
+        Estimated from the bucket layout (each bucket's mass sits at its
+        midpoint, the overflow bucket at the largest finite bound), so
+        two registries merged from different processes agree on it.
+        Perf diffing uses this as the noise scale — never the standard
+        deviation, which one slow outlier can blow up arbitrarily.
+        """
+        if self.count < 2:
+            return 0.0
+        median = self.quantile(0.5)
+        deviations = []
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if index >= len(self.bounds):
+                midpoint = float(self.bounds[-1])
+            else:
+                lower = self.bounds[index - 1] if index else 0.0
+                midpoint = (lower + self.bounds[index]) / 2.0
+            deviations.append((abs(midpoint - median), bucket_count))
+        deviations.sort()
+        rank = self.count / 2.0
+        cumulative = 0
+        for deviation, bucket_count in deviations:
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return deviation
+        return deviations[-1][0] if deviations else 0.0
 
     def to_obj(self):
         return {

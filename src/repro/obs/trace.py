@@ -48,6 +48,14 @@ TRACE_FORMAT = 1
 PAIR_SPAN_NAMES = frozenset({"test", "lifecycle", "mutant"})
 
 
+#: Test hook: ``name -> multiplier`` applied to every closing span's
+#: measured duration.  Lets tests and CI inject a known slowdown (e.g.
+#: 10x on one stage) into the *timing annotations* without sleeping or
+#: touching span identity — IDs, attrs and campaign payloads are
+#: untouched, so determinism gates stay byte-identical under the hook.
+duration_scale_hook = None
+
+
 def _digest(material):
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
@@ -141,6 +149,8 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb):
         self.duration_ms = (time.monotonic() - self.started) * 1000.0
+        if duration_scale_hook is not None:
+            self.duration_ms *= duration_scale_hook(self.name)
         tracer = self._tracer
         tracer._current = self.parent
         tracer._spans.append(self)

@@ -24,7 +24,16 @@ from repro.reporting.invoke import (
     render_invoke_matrix,
 )
 from repro.reporting.latex import render_fig4_latex, render_table3_latex
+from repro.reporting.perf import (
+    perf_diff_rows,
+    perf_diff_to_json,
+    render_perf_diff,
+    render_perf_trend,
+    render_timing_advisory,
+    sparkline,
+)
 from repro.reporting.profile import (
+    critical_path_rows,
     render_profile,
     slowest_services,
     stage_latency_rows,
@@ -75,9 +84,16 @@ __all__ = [
     "render_fig4_latex",
     "render_fuzz_matrix",
     "render_html_report",
+    "critical_path_rows",
+    "perf_diff_rows",
+    "perf_diff_to_json",
     "pool_utilization_rows",
+    "render_perf_diff",
+    "render_perf_trend",
     "render_pool_summary",
     "render_profile",
+    "render_timing_advisory",
+    "sparkline",
     "render_quarantine",
     "drift_rows",
     "regress_summary_rows",

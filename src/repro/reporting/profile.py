@@ -136,6 +136,30 @@ def worker_utilization_rows(trace):
     ]
 
 
+def critical_path_rows(trace, max_depth=32):
+    """(depth, stage, self ms, total ms, % of root, span id) rows."""
+    from repro.obs.critical import critical_path
+
+    rows = []
+    for depth, hop in enumerate(critical_path(trace, max_depth=max_depth)):
+        attrs = hop["attrs"]
+        where = ",".join(
+            str(attrs[key]) for key in ("server", "client", "service")
+            if key in attrs
+        )
+        label = hop["name"] if not where else f"{hop['name']}[{where}]"
+        rows.append(
+            (
+                "  " * depth + label,
+                f"{hop['self_ms']:.1f}",
+                f"{hop['ms']:.1f}",
+                f"{hop['pct_of_root']:.1f}%",
+                hop["id"][:12],
+            )
+        )
+    return rows
+
+
 def render_profile(trace, top=10):
     """Full ASCII profile of one trace."""
     meta = trace["meta"]
@@ -149,6 +173,13 @@ def render_profile(trace, top=10):
             f"\nwarning: {skipped} truncated trailing line(s) skipped "
             "(trace writer crashed or is still flushing)"
         )
+    if not trace["spans"]:
+        out.append(
+            "no spans recorded — the trace has a valid meta line but no "
+            "measurements; the sweep may have been interrupted before any "
+            "unit completed, or tracing was enabled on an empty campaign."
+        )
+        return "\n\n".join(out)
     rows = stage_latency_rows(trace)
     if rows:
         out.append(
@@ -159,11 +190,28 @@ def render_profile(trace, top=10):
                 title="Stage latency rollup",
             )
         )
-    service_rows = slowest_services(trace, top=top)
+    path_rows = critical_path_rows(trace)
+    if path_rows:
+        out.append(
+            render_table(
+                ("Span", "Self ms", "Total ms", "% of root", "Span id"),
+                path_rows,
+                title="Critical path (most expensive chain from the root)",
+            )
+        )
+    from repro.obs.critical import slowest_service_spans
+
+    service_rows = [
+        (server, service, count, f"{total:.1f}", span_id[:12],
+         f"{slow_ms:.1f}")
+        for server, service, count, total, span_id, slow_ms
+        in slowest_service_spans(trace, top=top)
+    ]
     if service_rows:
         out.append(
             render_table(
-                ("Server", "Service", "Spans", "Total ms"),
+                ("Server", "Service", "Spans", "Total ms", "Slowest span",
+                 "Slowest ms"),
                 service_rows,
                 title=f"Top {len(service_rows)} slowest services",
             )

@@ -31,6 +31,15 @@ from repro.runtime.lifecycle import (
     prepare_client_proxy,
     run_full_lifecycle,
 )
+from repro.runtime.progress import (
+    PROGRESS_FORMAT,
+    PROGRESS_SCHEMA,
+    ProgressValidationError,
+    ProgressWriter,
+    read_progress,
+    validate_progress_line,
+    validate_progress_lines,
+)
 from repro.runtime.recorder import Exchange, TransportRecorder, check_exchange
 from repro.runtime.resilience import (
     NAIVE_POLICY,
@@ -89,7 +98,11 @@ __all__ = [
     "InputBudgetExceeded",
     "LifecycleOutcome",
     "NAIVE_POLICY",
+    "PROGRESS_FORMAT",
+    "PROGRESS_SCHEMA",
     "PrematureEOF",
+    "ProgressValidationError",
+    "ProgressWriter",
     "ProtocolError",
     "ResiliencePolicy",
     "ResilientTransport",
@@ -103,7 +116,10 @@ __all__ = [
     "classify_exception",
     "close_transport",
     "prepare_client_proxy",
+    "read_progress",
     "run_full_lifecycle",
     "run_guarded",
     "transport_factory_for",
+    "validate_progress_line",
+    "validate_progress_lines",
 ]

@@ -271,13 +271,15 @@ class _WorkerHandle:
 class _Supervisor:
     """Runs one :class:`~repro.core.sharding.ShardJob` to completion."""
 
-    def __init__(self, job, pool, spool, checkpoint, progress, collector=None):
+    def __init__(self, job, pool, spool, checkpoint, progress, collector=None,
+                 telemetry=None):
         self.job = job
         self.pool = pool
         self.spool = spool
         self.checkpoint = checkpoint
         self.progress = progress
         self.collector = collector  # TraceCollector or None
+        self.telemetry = telemetry  # ProgressWriter or None
         self.ctx = multiprocessing.get_context(
             pool.start_method or default_start_method()
         )
@@ -327,6 +329,13 @@ class _Supervisor:
                 f"[pool] resume: {self.stats.units_restored} restored, "
                 f"{self.stats.units_poisoned} poisoned, "
                 f"{len(self.pending)} to run"
+            )
+        if self.telemetry is not None:
+            self.telemetry.begin(
+                total=self.stats.units_total,
+                workers=self.pool.workers,
+                restored=self.stats.units_restored,
+                poisoned=self.stats.units_poisoned,
             )
         return units
 
@@ -559,7 +568,32 @@ class _Supervisor:
         while len(self.workers) < desired:
             self._spawn()
 
+    def _emit_telemetry(self, force=False):
+        if self.telemetry is None:
+            return
+        now = time.monotonic()
+        worker_rows = []
+        for handle in self.workers.values():
+            busy = handle.busy
+            worker_rows.append({
+                "worker": handle.id,
+                "state": "busy" if busy else "idle",
+                "unit": handle.unit.key if busy else None,
+                "server": handle.unit.server_id if busy else None,
+                "busy_seconds": (
+                    round(now - handle.started_at, 1)
+                    if busy and handle.started_at is not None else 0.0
+                ),
+            })
+        self.telemetry.update(
+            done=len(self.completed),
+            poisoned=self.stats.units_poisoned,
+            worker_rows=worker_rows,
+            force=force,
+        )
+
     def run(self):
+        completed_seen = len(self.completed)
         try:
             while self.pending or any(
                 handle.busy for handle in self.workers.values()
@@ -583,6 +617,10 @@ class _Supervisor:
                     time.sleep(self.pool.poll_seconds)
                 self._reap_dead()
                 self._enforce_watchdogs()
+                self._emit_telemetry(
+                    force=len(self.completed) != completed_seen
+                )
+                completed_seen = len(self.completed)
             self.shutdown()
         except BaseException:
             # Interrupt or supervisor bug: the quarantine registry is
@@ -594,7 +632,8 @@ class _Supervisor:
 
 
 def execute_sharded(job, pool=None, checkpoint=None, progress=None,
-                    collector=None):
+                    collector=None, progress_path=None,
+                    eta_wall_hint_seconds=None):
     """Execute ``job``'s shard units under a supervised worker pool.
 
     Returns ``(result, stats)``.  ``checkpoint`` doubles as the shard
@@ -607,6 +646,13 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None,
     :class:`~repro.obs.trace.TraceCollector`: workers then trace each
     unit and the collector is finalized here against exactly the units
     the merge consumed, so the trace always describes the merged result.
+
+    ``progress_path`` opts into the crash-safe JSONL heartbeat stream
+    (:mod:`repro.runtime.progress`): units done/total, per-worker state
+    and an ETA seeded from ``eta_wall_hint_seconds`` (typically the
+    perf ledger's last recorded wall-clock for this configuration).
+    Pure telemetry — the merged result is byte-identical with or
+    without it.
     """
     pool = pool or PoolConfig()
     if pool.workers < 1:
@@ -618,12 +664,31 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None,
     else:
         spool_dir = tempfile.mkdtemp(prefix="wsinterop-shards-")
         spool, owns_spool = CampaignCheckpoint(spool_dir), True
+    telemetry = None
+    if progress_path:
+        from repro.runtime.progress import ProgressWriter
+
+        telemetry = ProgressWriter(
+            progress_path, campaign=job.campaign,
+            eta_wall_hint_seconds=eta_wall_hint_seconds,
+        )
     try:
         supervisor = _Supervisor(
-            job, pool, spool, checkpoint, progress, collector=collector
+            job, pool, spool, checkpoint, progress, collector=collector,
+            telemetry=telemetry,
         )
         units = supervisor.plan()
-        supervisor.run()
+        try:
+            supervisor.run()
+        except BaseException:
+            if telemetry is not None:
+                telemetry.final(
+                    done=len(supervisor.completed),
+                    poisoned=supervisor.stats.units_poisoned,
+                    wall_seconds=time.monotonic() - started,
+                    outcome="interrupted",
+                )
+            raise
         stats = supervisor.stats
         stats.worker_timeline.sort(key=lambda row: row["worker"])
         payloads = {
@@ -633,6 +698,12 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None,
         }
         result = job.merge(payloads, poisoned=supervisor.poisoned)
         stats.wall_seconds = round(time.monotonic() - started, 3)
+        if telemetry is not None:
+            telemetry.final(
+                done=stats.units_completed,
+                poisoned=stats.units_poisoned,
+                wall_seconds=stats.wall_seconds,
+            )
         if collector is not None:
             contributing = []
             for unit in units:
@@ -654,5 +725,7 @@ def execute_sharded(job, pool=None, checkpoint=None, progress=None,
             ]
         return result, stats
     finally:
+        if telemetry is not None:
+            telemetry.close()
         if owns_spool:
             shutil.rmtree(spool.directory, ignore_errors=True)

@@ -1,0 +1,96 @@
+"""Property-based invariants of the mergeable fixed-bucket histogram.
+
+The perf ledger diffs medians of histograms that were merged across
+worker processes in canonical shard order, so merge must behave like a
+commutative monoid over observation multisets: empty histograms are
+two-sided identities, merging is associative over any grouping, and the
+merged counts equal observing the concatenated samples directly.  A
+single observation must report itself exactly — the ledger records
+one-span stages (campaign, server) whose medians would otherwise be
+bucket-interpolation artefacts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram
+
+#: Latencies spanning the bucket layout, including the +Inf overflow.
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=50000.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+
+
+def _filled(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def _state(histogram):
+    return (tuple(histogram.bounds), tuple(histogram.counts),
+            histogram.count, round(histogram.total, 6))
+
+
+@given(samples)
+@settings(max_examples=60, deadline=None)
+def test_empty_merge_is_identity_both_sides(values):
+    histogram = _filled(values)
+    before = _state(histogram)
+    histogram.merge(Histogram())
+    assert _state(histogram) == before
+
+    receiver = Histogram()
+    receiver.merge(_filled(values))
+    assert _state(receiver) == _state(_filled(values))
+
+
+@given(samples, samples, samples)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_associative(a, b, c):
+    left = _filled(a)
+    left.merge(_filled(b))
+    left.merge(_filled(c))
+
+    bc = _filled(b)
+    bc.merge(_filled(c))
+    right = _filled(a)
+    right.merge(bc)
+
+    assert _state(left) == _state(right)
+    assert _state(left) == _state(_filled(a + b + c))
+
+
+@given(samples, samples)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_commutative(a, b):
+    ab = _filled(a)
+    ab.merge(_filled(b))
+    ba = _filled(b)
+    ba.merge(_filled(a))
+    assert _state(ab) == _state(ba)
+
+
+@given(st.floats(min_value=0.0, max_value=100000.0,
+                 allow_nan=False, allow_infinity=False))
+@settings(max_examples=60, deadline=None)
+def test_single_observation_quantiles_are_exact(value):
+    histogram = Histogram()
+    histogram.observe(value)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert histogram.quantile(q) == value
+
+
+@given(samples)
+@settings(max_examples=60, deadline=None)
+def test_quantiles_and_mad_never_crash_and_stay_in_range(values):
+    histogram = _filled(values)
+    median = histogram.quantile(0.5)
+    assert median >= 0.0
+    assert histogram.mad() >= 0.0
+    if not values:
+        assert median == 0.0 and histogram.mad() == 0.0
+    if len(values) < 2:
+        assert histogram.mad() == 0.0

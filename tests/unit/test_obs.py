@@ -174,8 +174,26 @@ class TestMetrics:
         assert left.count == merged.count
 
     def test_histogram_merge_rejects_different_bounds(self):
+        left = Histogram(bounds=(1.0,))
+        left.observe(0.5)
+        right = Histogram(bounds=(2.0,))
+        right.observe(0.5)
         with pytest.raises(ValueError):
-            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+            left.merge(right)
+
+    def test_histogram_merge_with_empty_ignores_layout(self):
+        # Empty histograms are identities even across layouts: merging
+        # one in is a no-op, and an empty receiver adopts the donor's
+        # layout instead of rejecting it.
+        filled = Histogram(bounds=(1.0,))
+        filled.observe(0.5)
+        filled.merge(Histogram(bounds=(2.0,)))
+        assert filled.counts == [1, 0]
+
+        empty = Histogram(bounds=(2.0,))
+        empty.merge(filled)
+        assert tuple(empty.bounds) == (1.0,)
+        assert empty.counts == [1, 0]
 
     def test_registry_roundtrip_and_merge(self):
         first = MetricsRegistry()
